@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test bench experiments examples clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Regenerate every table and figure at benchmark scale.
+bench:
+	go test -bench=. -benchmem .
+
+# Regenerate every table and figure at full scale (minutes).
+experiments:
+	go run ./cmd/delaymodel -scaling
+	go run ./cmd/routerbench
+	go run ./cmd/loadsweep
+	go run ./cmd/fairness
+	go run ./cmd/chaining
+	go run ./cmd/energymodel
+	go run ./cmd/virtualinputs
+	go run ./cmd/appsim
+	go run ./cmd/ablation
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/buffer_reduction
+	go run ./examples/custom_allocator
+	go run ./examples/adversarial_traffic
+	go run ./examples/saturation_search
+
+clean:
+	go clean ./...

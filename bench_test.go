@@ -1,0 +1,265 @@
+package vix
+
+// This file regenerates every table and figure of the paper's evaluation
+// under `go test -bench=.`. Each benchmark runs the corresponding
+// experiment at a reduced (but shape-preserving) simulation scale, logs
+// the regenerated rows, and reports the headline quantity as a custom
+// benchmark metric. The cmd/ tools run the same experiments at full
+// scale.
+
+import (
+	"sync"
+	"testing"
+
+	"vix/internal/experiments"
+)
+
+// logged ensures each benchmark prints its regenerated rows once, not
+// once per b.N calibration round.
+var logged sync.Map
+
+// logRows runs fn the first time the named benchmark reaches its
+// reporting section.
+func logRows(b *testing.B, fn func()) {
+	if _, dup := logged.LoadOrStore(b.Name(), true); !dup {
+		fn()
+	}
+}
+
+// benchParams returns simulation windows sized for the benchmark harness.
+func benchParams() ExperimentParams {
+	p := experiments.DefaultParams()
+	p.Warmup = 800
+	p.Measure = 2500
+	return p
+}
+
+// BenchmarkTable1PipelineDelays regenerates Table 1 from the calibrated
+// timing models (VA, SA, and crossbar delays per design).
+func BenchmarkTable1PipelineDelays(b *testing.B) {
+	var rows []StageDelays
+	for i := 0; i < b.N; i++ {
+		rows = Table1()
+	}
+	b.StopTimer()
+	logRows(b, func() {
+		for _, r := range rows {
+			b.Logf("%-16s radix %-2d xbar %2dx%-2d VA %3.0f ps  SA %3.0f ps  Xbar %3.0f ps",
+				r.Design, r.Radix, r.XbarIn, r.XbarOut, r.VA, r.SA, r.Xbar)
+		}
+	})
+	b.ReportMetric(rows[1].Xbar/rows[0].Xbar, "meshXbarGrowth")
+}
+
+// BenchmarkTable3AllocatorDelay regenerates Table 3 (separable 280 ps,
+// wavefront 390 ps, augmented path infeasible).
+func BenchmarkTable3AllocatorDelay(b *testing.B) {
+	var rows []AllocatorDelay
+	for i := 0; i < b.N; i++ {
+		rows = Table3()
+	}
+	b.StopTimer()
+	logRows(b, func() {
+		for _, r := range rows {
+			feas := "feasible"
+			if !r.Feasible {
+				feas = "INFEASIBLE"
+			}
+			b.Logf("%-15s %5.0f ps  %s", r.Scheme, r.Delay, feas)
+		}
+	})
+	b.ReportMetric(rows[1].Delay/rows[0].Delay, "WFvsIF")
+}
+
+// BenchmarkFig7SingleRouter regenerates Figure 7: single-router switch
+// allocation efficiency at radices 5, 8, and 10.
+func BenchmarkFig7SingleRouter(b *testing.B) {
+	p := benchParams()
+	var rows []Fig7Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		if rows, err = Figure7(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	logRows(b, func() {
+		for _, r := range rows {
+			b.Logf("radix %-2d %-5s %6.3f flits/cycle (%.0f%% efficiency, %+.0f%% vs IF)",
+				r.Radix, r.Scheme, r.FlitsPerCycle, 100*r.Efficiency, 100*(r.GainOverIF-1))
+		}
+	})
+	var vixGain5 float64
+	for _, r := range rows {
+		if r.Radix == 5 && r.Scheme == "VIX" {
+			vixGain5 = r.GainOverIF
+		}
+	}
+	b.ReportMetric(vixGain5, "VIXvsIF@radix5")
+}
+
+// BenchmarkFig8MeshLoadSweep regenerates Figure 8: latency and throughput
+// versus offered load on the 8x8 mesh, with saturation points.
+func BenchmarkFig8MeshLoadSweep(b *testing.B) {
+	p := benchParams()
+	rates := []float64{0.02, 0.05, 0.08}
+	var pts []Fig8Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		if pts, err = Figure8(p, rates); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	logRows(b, func() {
+		for _, pt := range pts {
+			load := "sat"
+			if pt.Rate > 0 {
+				load = "   "
+			}
+			b.Logf("%-4s %s %4.2f: latency %7.2f  throughput %.4f", pt.Scheme, load, pt.Rate, pt.AvgLatency, pt.Throughput)
+		}
+	})
+	sat := map[string]Fig8Point{}
+	for _, pt := range pts {
+		if pt.Rate == 0 {
+			sat[pt.Scheme] = pt
+		}
+	}
+	b.ReportMetric(sat["VIX"].Throughput/sat["IF"].Throughput, "VIXvsIFsat")
+}
+
+// BenchmarkFig9Fairness regenerates Figure 9: max/min per-source
+// throughput at saturation.
+func BenchmarkFig9Fairness(b *testing.B) {
+	p := benchParams()
+	var rows []Fig9Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		if rows, err = Figure9(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	logRows(b, func() {
+		for _, r := range rows {
+			b.Logf("%-4s max/min %.2f (throughput %.4f)", r.Scheme, r.MaxMinRatio, r.Throughput)
+		}
+	})
+	var vixRatio float64
+	for _, r := range rows {
+		if r.Scheme == "VIX" {
+			vixRatio = r.MaxMinRatio
+		}
+	}
+	b.ReportMetric(vixRatio, "VIXmaxmin")
+}
+
+// BenchmarkFig10PacketChaining regenerates Figure 10: PC versus VIX on
+// single-flit packets at maximum injection.
+func BenchmarkFig10PacketChaining(b *testing.B) {
+	p := benchParams()
+	var rows []Fig10Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		if rows, err = Figure10(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	logRows(b, func() {
+		for _, r := range rows {
+			b.Logf("%-4s %.4f flits/cycle/node (%+.1f%% vs IF)", r.Scheme, r.Throughput, 100*(r.GainOverIF-1))
+		}
+	})
+	var pcGain, vixGain float64
+	for _, r := range rows {
+		switch r.Scheme {
+		case "PC":
+			pcGain = r.GainOverIF
+		case "VIX":
+			vixGain = r.GainOverIF
+		}
+	}
+	b.ReportMetric(pcGain, "PCvsIF")
+	b.ReportMetric(vixGain, "VIXvsIF")
+}
+
+// BenchmarkFig11EnergyPerBit regenerates Figure 11: per-component network
+// energy per bit for baseline and VIX.
+func BenchmarkFig11EnergyPerBit(b *testing.B) {
+	p := benchParams()
+	var rows []Fig11Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		if rows, err = Figure11(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	logRows(b, func() {
+		for _, r := range rows {
+			bd := r.Breakdown
+			b.Logf("%-4s buffer %.3f switch %.3f link %.3f clock %.3f leak %.3f total %.3f pJ/bit",
+				r.Scheme, bd.Buffer, bd.Switch, bd.Link, bd.Clock, bd.Leakage, bd.Total)
+		}
+	})
+	b.ReportMetric(rows[1].Breakdown.Total/rows[0].Breakdown.Total, "VIXenergyRatio")
+}
+
+// BenchmarkFig12VirtualInputs regenerates Figure 12: saturation
+// throughput of no VIX, 1:2 VIX, and ideal VIX across topologies and VC
+// counts, which also contains the Section 4.6 buffer-reduction result.
+func BenchmarkFig12VirtualInputs(b *testing.B) {
+	p := benchParams()
+	p.Warmup, p.Measure = 500, 1500
+	var rows []Fig12Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		if rows, err = Figure12(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	logRows(b, func() {
+		for _, r := range rows {
+			b.Logf("%-10s %d VCs %-9s %.4f flits/cycle/node", r.Topology, r.VCs, r.Config, r.Throughput)
+		}
+	})
+	var vix4, no6 float64
+	for _, r := range rows {
+		if r.Topology == "mesh8x8" && r.VCs == 4 && r.Config == "1:2 VIX" {
+			vix4 = r.Throughput
+		}
+		if r.Topology == "mesh8x8" && r.VCs == 6 && r.Config == "no VIX" {
+			no6 = r.Throughput
+		}
+	}
+	b.ReportMetric(vix4/no6, "bufferReduction")
+}
+
+// BenchmarkTable4AppMixes regenerates Table 4: weighted speedup of VIX
+// over baseline for the eight multiprogrammed workloads on the 64-core
+// trace-driven system.
+func BenchmarkTable4AppMixes(b *testing.B) {
+	p := benchParams()
+	var rows []Table4Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		if rows, err = Table4(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	logRows(b, func() {
+		for _, r := range rows {
+			b.Logf("%-5s MPKI %5.1f (paper %5.1f)  speedup %.3f (paper %.2f)",
+				r.Mix, r.AvgMPKI, r.PaperMPKI, r.Speedup, r.PaperSpeedup)
+		}
+	})
+	var sum float64
+	for _, r := range rows {
+		sum += r.Speedup
+	}
+	b.ReportMetric(sum/float64(len(rows)), "avgSpeedup")
+}

@@ -1,0 +1,140 @@
+// Command ablation runs the design-choice studies that complement the
+// paper's headline experiments: VC-assignment policy under adversarial
+// traffic (Section 2.3), VC-to-sub-group partition, router pipeline
+// depth, a fine-grained virtual-input sweep, and the extended allocator
+// set (including iSLIP and SPAROFLO from the paper's citations and
+// related work).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"vix/internal/alloc"
+	"vix/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ablation: ")
+	var (
+		warmup  = flag.Int("warmup", 1500, "warmup cycles")
+		measure = flag.Int("measure", 5000, "measurement cycles")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		study   = flag.String("study", "all", "which study: policies, partition, pipeline, speculation, ksweep, allocators, or all")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	p.Warmup, p.Measure, p.Seed = *warmup, *measure, *seed
+
+	run := func(name string, fn func() error) {
+		if *study != "all" && *study != name {
+			return
+		}
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println()
+	}
+
+	run("policies", func() error {
+		rows, err := experiments.AblatePolicies(p, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("VC-assignment policy (Section 2.3) on a saturated 8x8 VIX mesh:")
+		w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+		fmt.Fprintln(w, "pattern\tpolicy\tthroughput (flits/cyc/node)")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%.4f\n", r.Pattern, r.Policy, r.Throughput)
+		}
+		return w.Flush()
+	})
+
+	run("partition", func() error {
+		rows, err := experiments.AblatePartition(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println("VC-to-sub-group partition on saturated VIX networks:")
+		w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+		fmt.Fprintln(w, "topology\tpartition\tthroughput")
+		for _, r := range rows {
+			name := "contiguous"
+			if r.Partition == alloc.Interleaved {
+				name = "interleaved"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%.4f\n", r.Topology, name, r.Throughput)
+		}
+		return w.Flush()
+	})
+
+	run("pipeline", func() error {
+		rows, err := experiments.AblatePipeline(p, 0.05)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Pipeline depth (Figure 6a vs 6b), 8x8 mesh:")
+		w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+		fmt.Fprintln(w, "scheme\thop delay\tlatency @0.05\tsaturation throughput")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%.2f\t%.4f\n", r.Scheme, r.HopDelay, r.AvgLatency, r.Throughput)
+		}
+		return w.Flush()
+	})
+
+	run("speculation", func() error {
+		rows, err := experiments.AblateSpeculation(p, 0.05)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Speculative vs non-speculative switch allocation, 8x8 mesh:")
+		w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+		fmt.Fprintln(w, "scheme\tmode\tlatency @0.05\tsaturation throughput")
+		for _, r := range rows {
+			mode := "speculative"
+			if r.NonSpeculative {
+				mode = "non-speculative"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%.2f\t%.4f\n", r.Scheme, mode, r.AvgLatency, r.Throughput)
+		}
+		return w.Flush()
+	})
+
+	run("ksweep", func() error {
+		rows, err := experiments.AblateVirtualInputs(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Virtual-input sweep (8x8 mesh, 6 VCs, saturation):")
+		w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+		fmt.Fprintln(w, "k\tthroughput\tvs k=1")
+		base := rows[0].Throughput
+		for _, r := range rows {
+			fmt.Fprintf(w, "%d\t%.4f\t%+.1f%%\n", r.K, r.Throughput, 100*(r.Throughput/base-1))
+		}
+		return w.Flush()
+	})
+
+	run("allocators", func() error {
+		rows, err := experiments.AblateAllocators(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Extended allocator set (8x8 mesh, saturation):")
+		w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+		fmt.Fprintln(w, "scheme\tthroughput\tvs IF")
+		var base float64
+		for _, r := range rows {
+			if r.Scheme == "IF" {
+				base = r.Throughput
+			}
+			fmt.Fprintf(w, "%s\t%.4f\t%+.1f%%\n", r.Scheme, r.Throughput, 100*(r.Throughput/base-1))
+		}
+		return w.Flush()
+	})
+}

@@ -1,0 +1,62 @@
+// Command delaymodel regenerates Tables 1 and 3: router pipeline stage
+// delays (VA, SA, crossbar) for the three topologies with and without
+// VIX, and the delay comparison of switch allocation schemes, from the
+// 45 nm-calibrated timing models.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"vix/internal/timing"
+)
+
+func main() {
+	scaling := flag.Bool("scaling", false, "also print the high-radix VIX feasibility study")
+	flag.Parse()
+
+	fmt.Println("Table 1: router pipeline stage delays (45 nm calibrated model)")
+	fmt.Println()
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Design\tRadix\tXbar size\tVA delay\tSA delay\tXbar delay\tXbar slack vs VA")
+	for _, r := range timing.Table1() {
+		fmt.Fprintf(w, "%s\t%d\t%d x %d\t%.0f ps\t%.0f ps\t%.0f ps\t%.0f ps\n",
+			r.Design, r.Radix, r.XbarIn, r.XbarOut, r.VA, r.SA, r.Xbar, r.VA-r.Xbar)
+	}
+	w.Flush()
+
+	fmt.Println()
+	fmt.Println("Table 3: delay of switch allocation schemes (radix-5 mesh, 6 VCs)")
+	fmt.Println()
+	w = tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Scheme\tDelay")
+	for _, r := range timing.Table3() {
+		if r.Feasible {
+			fmt.Fprintf(w, "%s\t%.0f ps\n", r.Scheme, r.Delay)
+		} else {
+			fmt.Fprintf(w, "%s\tInfeasible (model estimate %.0f ps)\n", r.Scheme, r.Delay)
+		}
+	}
+	w.Flush()
+
+	sep := timing.SADelay(5, 6, 1)
+	wf := timing.WavefrontDelay(5, 1)
+	fmt.Printf("\nWavefront is %.0f%% slower than the separable allocator (paper: 39%%).\n", 100*(wf/sep-1))
+	fmt.Printf("Mesh VIX crossbar uses %.0f%% of the cycle time (paper: within 70%%).\n",
+		100*timing.XbarDelay(10, 5)/timing.CycleTime(5, 6))
+
+	if *scaling {
+		fmt.Println()
+		fmt.Println("High-radix VIX feasibility (Section 2.4 scaling discussion, 6 VCs):")
+		w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+		fmt.Fprintln(w, "radix\tcycle\txbar PxP\txbar 2PxP\tVIX slack\tfeasible")
+		for _, r := range timing.RadixScaling([]int{4, 5, 8, 10, 12, 16, 20, 24, 32}, 6) {
+			fmt.Fprintf(w, "%d\t%.0f ps\t%.0f ps\t%.0f ps\t%+.0f ps\t%v\n",
+				r.Radix, r.Cycle, r.XbarBase, r.XbarVIX, r.SlackVIX, r.Feasible)
+		}
+		w.Flush()
+		fmt.Printf("\nVIX feasibility frontier: radix %d at 6 VCs per port.\n", timing.VIXFeasibilityFrontier(6))
+	}
+}

@@ -1,0 +1,63 @@
+// Command energymodel regenerates Figure 11: network energy per bit for
+// the baseline and VIX mesh at 0.1 packets/cycle/node, broken down into
+// buffer, switch, link, clock, and leakage components. Activity factors
+// come from the cycle-accurate simulation; per-component energies from
+// the 45 nm calibration in internal/energy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"vix/internal/experiments"
+	"vix/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("energymodel: ")
+	var (
+		warmup   = flag.Int("warmup", 2000, "warmup cycles")
+		measure  = flag.Int("measure", 10000, "measurement cycles")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		topoName = flag.String("topo", "mesh", "topology: mesh (the paper's Figure 11), cmesh, or fbfly")
+		rate     = flag.Float64("rate", 0.1, "injection rate in packets/cycle/node")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	p.Warmup, p.Measure, p.Seed = *warmup, *measure, *seed
+	var topo *topology.Topology
+	switch *topoName {
+	case "mesh":
+		topo = topology.NewMesh(8, 8)
+	case "cmesh":
+		topo = topology.NewCMesh(4, 4, 4)
+	case "fbfly":
+		topo = topology.NewFBfly(4, 4, 4)
+	default:
+		log.Fatalf("unknown topology %q", *topoName)
+	}
+	rows, err := experiments.EnergyStudy(topo, p, *rate)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Figure 11: network energy per bit (%s @ %g packets/cycle/node)\n", topo.Name, *rate)
+	fmt.Println()
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "scheme\tbuffer\tswitch\tlink\tclock\tleakage\ttotal (pJ/bit)")
+	for _, r := range rows {
+		b := r.Breakdown
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			r.Scheme, b.Buffer, b.Switch, b.Link, b.Clock, b.Leakage, b.Total)
+	}
+	w.Flush()
+	if len(rows) == 2 {
+		fmt.Printf("\nVIX total energy per bit: %+.1f%% over baseline (paper: +4%%).\n",
+			100*(rows[1].Breakdown.Total/rows[0].Breakdown.Total-1))
+	}
+}

@@ -1,0 +1,99 @@
+// Command loadsweep regenerates Figure 8: average packet latency and
+// accepted throughput versus offered load for the 8x8 mesh under the four
+// switch allocation schemes (IF, WF, AP, VIX), plus a saturation point
+// per scheme.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"vix/internal/experiments"
+	"vix/internal/plot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadsweep: ")
+	var (
+		warmup   = flag.Int("warmup", 2000, "warmup cycles")
+		measure  = flag.Int("measure", 8000, "measurement cycles")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		showPlot = flag.Bool("plot", false, "render ASCII latency and throughput charts")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	p.Warmup, p.Measure, p.Seed = *warmup, *measure, *seed
+	pts, err := experiments.Figure8(p, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Figure 8: 8x8 mesh, uniform random, 4-flit packets, 6 VCs")
+	fmt.Println()
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "scheme\toffered (pkts/cyc/node)\tavg latency (cycles)\taccepted (flits/cyc/node)")
+	for _, pt := range pts {
+		load := fmt.Sprintf("%.2f", pt.Rate)
+		if pt.Rate == 0 {
+			load = "saturation"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.2f\t%.4f\n", pt.Scheme, load, pt.AvgLatency, pt.Throughput)
+	}
+	w.Flush()
+
+	// Headline ratios at saturation.
+	sat := map[string]experiments.Fig8Point{}
+	for _, pt := range pts {
+		if pt.Rate == 0 {
+			sat[pt.Scheme] = pt
+		}
+	}
+
+	if *showPlot {
+		byScheme := map[string]*plot.Series{}
+		var order []string
+		for _, pt := range pts {
+			if pt.Rate == 0 {
+				continue // saturation points have no offered-load x
+			}
+			s, ok := byScheme[pt.Scheme]
+			if !ok {
+				s = &plot.Series{Label: pt.Scheme}
+				byScheme[pt.Scheme] = s
+				order = append(order, pt.Scheme)
+			}
+			s.X = append(s.X, pt.Rate)
+			s.Y = append(s.Y, pt.AvgLatency)
+		}
+		var latSeries, thrSeries []plot.Series
+		for _, name := range order {
+			latSeries = append(latSeries, *byScheme[name])
+		}
+		for _, name := range order {
+			s := plot.Series{Label: name}
+			for _, pt := range pts {
+				if pt.Scheme == name && pt.Rate > 0 {
+					s.X = append(s.X, pt.Rate)
+					s.Y = append(s.Y, pt.Throughput)
+				}
+			}
+			thrSeries = append(thrSeries, s)
+		}
+		fmt.Println()
+		fmt.Print(plot.Render("avg latency (cycles) vs offered load (pkts/cyc/node)", latSeries, 60, 14))
+		fmt.Println()
+		fmt.Print(plot.Render("accepted throughput (flits/cyc/node) vs offered load", thrSeries, 60, 14))
+	}
+	fmt.Printf("\nVIX over IF at saturation: throughput %+.1f%% (paper +16.2%%), latency %+.1f%% (paper -36%%)\n",
+		100*(sat["VIX"].Throughput/sat["IF"].Throughput-1),
+		100*(sat["VIX"].AvgLatency/sat["IF"].AvgLatency-1))
+	fmt.Printf("VIX over AP at saturation: throughput %+.1f%% (paper +15.9%%)\n",
+		100*(sat["VIX"].Throughput/sat["AP"].Throughput-1))
+	fmt.Printf("AP over IF at saturation:  throughput %+.1f%% (paper +0.3%%)\n",
+		100*(sat["AP"].Throughput/sat["IF"].Throughput-1))
+}

@@ -1,0 +1,126 @@
+// Command sweep runs a grid of (scheme, injection rate) simulations and
+// emits one CSV row per point — the raw data behind Figure 8-style plots,
+// ready for any plotting tool.
+//
+// Schemes are comma-separated allocator:k pairs, e.g.
+//
+//	sweep -schemes if:1,wavefront:1,ap:1,if:2 -rates 0.02,0.04,0.06,0.08
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"vix/internal/config"
+	"vix/internal/network"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	var (
+		configPath = flag.String("config", "", "JSON experiment file used as the base configuration")
+		schemesStr = flag.String("schemes", "if:1,wavefront:1,ap:1,if:2", "comma-separated allocator:k pairs")
+		ratesStr   = flag.String("rates", "0.01,0.03,0.05,0.07,0.09", "comma-separated injection rates (packets/cycle/node)")
+		saturate   = flag.Bool("sat", true, "append a saturation point per scheme")
+		out        = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	base := config.Default()
+	if *configPath != "" {
+		var err error
+		if base, err = config.Load(*configPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	type scheme struct {
+		alloc string
+		k     int
+	}
+	var schemes []scheme
+	for _, s := range strings.Split(*schemesStr, ",") {
+		name, kStr, ok := strings.Cut(strings.TrimSpace(s), ":")
+		if !ok {
+			log.Fatalf("bad scheme %q: want allocator:k", s)
+		}
+		k, err := strconv.Atoi(kStr)
+		if err != nil {
+			log.Fatalf("bad virtual-input count in %q: %v", s, err)
+		}
+		schemes = append(schemes, scheme{alloc: name, k: k})
+	}
+	var rates []float64
+	for _, r := range strings.Split(*ratesStr, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(r), 64)
+		if err != nil {
+			log.Fatalf("bad rate %q: %v", r, err)
+		}
+		rates = append(rates, v)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	header := []string{"allocator", "k", "offered_rate", "avg_latency", "p50_latency", "p99_latency", "throughput_flits", "throughput_packets", "fairness"}
+	if err := cw.Write(header); err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(sc scheme, rate float64, max bool) {
+		e := base
+		e.Allocator = sc.alloc
+		e.VirtualInputs = sc.k
+		e.Policy = "" // re-derive from k
+		e.InjectionRate = rate
+		e.MaxInjection = max
+		cfg, err := e.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := network.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n.Warmup(e.Warmup)
+		s := n.Measure(e.Measure)
+		offered := fmt.Sprintf("%g", rate)
+		if max {
+			offered = "saturation"
+		}
+		rec := []string{
+			sc.alloc, strconv.Itoa(sc.k), offered,
+			fmt.Sprintf("%.3f", s.AvgLatency),
+			strconv.FormatInt(s.P50Latency, 10),
+			strconv.FormatInt(s.P99Latency, 10),
+			fmt.Sprintf("%.5f", s.ThroughputFlits),
+			fmt.Sprintf("%.5f", s.ThroughputPackets),
+			fmt.Sprintf("%.3f", s.FairnessRatio),
+		}
+		if err := cw.Write(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, sc := range schemes {
+		for _, rate := range rates {
+			run(sc, rate, false)
+		}
+		if *saturate {
+			run(sc, 0, true)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Adversarial traffic and VC assignment (Section 2.3 of the paper):
+// with VIX, which sub-group of VCs a packet occupies decides which
+// virtual input carries it. The dimension-aware, load-balanced assignment
+// keeps both virtual inputs supplied with conflict-free requests even
+// under adversarial patterns. This example sweeps traffic patterns and
+// compares the three policies on a saturated VIX mesh.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"vix"
+)
+
+func saturation(pattern vix.TrafficPattern, policy vix.RouterConfig) vix.Snapshot {
+	topo := vix.NewMeshTopology(8, 8)
+	n, err := vix.NewNetwork(vix.NetworkConfig{
+		Topology:     topo,
+		Router:       policy,
+		Pattern:      pattern,
+		MaxInjection: true,
+		PacketSize:   4,
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n.Warmup(1500)
+	return n.Measure(5000)
+}
+
+func main() {
+	policies := []struct {
+		name string
+		cfg  vix.RouterConfig
+	}{
+		{"maxfree", vix.RouterConfig{Ports: 5, VCs: 6, VirtualInputs: 2, BufDepth: 5, AllocKind: vix.AllocSeparableIF, Policy: vix.PolicyMaxFree}},
+		{"dimension", vix.RouterConfig{Ports: 5, VCs: 6, VirtualInputs: 2, BufDepth: 5, AllocKind: vix.AllocSeparableIF, Policy: vix.PolicyDimension}},
+		{"balanced", vix.RouterConfig{Ports: 5, VCs: 6, VirtualInputs: 2, BufDepth: 5, AllocKind: vix.AllocSeparableIF, Policy: vix.PolicyBalanced}},
+	}
+	patterns := []string{"uniform", "transpose", "tornado", "bitcomp", "hotspot"}
+
+	fmt.Println("Saturated 8x8 VIX mesh (k=2): throughput in flits/cycle/node by VC-assignment policy")
+	fmt.Println()
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "pattern\tmaxfree\tdimension\tbalanced")
+	for _, name := range patterns {
+		fmt.Fprintf(w, "%s", name)
+		for _, p := range policies {
+			pat, err := vix.NewTrafficPattern(name, 8, 8)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s := saturation(pat, p.cfg)
+			fmt.Fprintf(w, "\t%.4f", s.ThroughputFlits)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	fmt.Println("\nThe dimension-aware policies place X-continuing and Y/ejecting packets in")
+	fmt.Println("different VC sub-groups, so the two virtual inputs of each port tend to")
+	fmt.Println("request different output ports (fewer conflicts during output arbitration).")
+}

@@ -1,0 +1,149 @@
+// Custom allocator: the router accepts any switch allocator implementing
+// the vix.Allocator interface. This example implements an output-first
+// separable allocator — the mirror image of the built-in input-first
+// scheme: each output port first picks one requesting VC, then each
+// crossbar row picks among the outputs that chose it — registers it under
+// a new kind, and races it against the built-ins on a saturated mesh.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vix"
+)
+
+// outputFirst is a separable output-first allocator. Phase one: every
+// output port selects one requesting (row, VC) by rotating priority.
+// Phase two: every crossbar row selects one of the outputs that picked
+// it. Like input-first separable allocation it needs no iteration, and
+// it suffers the mirrored coordination problem: two outputs may pick the
+// same row and one loses.
+type outputFirst struct {
+	cfg    vix.AllocatorConfig
+	outPtr []int // rotating priority per output port over rows
+	rowPtr []int // rotating priority per row over outputs
+}
+
+func newOutputFirst(cfg vix.AllocatorConfig) (vix.Allocator, error) {
+	return &outputFirst{
+		cfg:    cfg,
+		outPtr: make([]int, cfg.Ports),
+		rowPtr: make([]int, cfg.Rows()),
+	}, nil
+}
+
+func (o *outputFirst) Name() string { return "output-first" }
+
+func (o *outputFirst) Reset() {
+	for i := range o.outPtr {
+		o.outPtr[i] = 0
+	}
+	for i := range o.rowPtr {
+		o.rowPtr[i] = 0
+	}
+}
+
+func (o *outputFirst) Allocate(rs *vix.RequestSet) []vix.SwitchGrant {
+	rows := o.cfg.Rows()
+	// Requests indexed by (row, outPort); keep the first VC per cell and
+	// let the row rotate across cells over time.
+	byCell := make(map[[2]int]vix.SwitchRequest, len(rs.Requests))
+	rowReq := make([][]bool, rows)
+	for i := range rowReq {
+		rowReq[i] = make([]bool, o.cfg.Ports)
+	}
+	for _, r := range rs.Requests {
+		row := o.cfg.Row(r.Port, r.VC)
+		key := [2]int{row, r.OutPort}
+		if _, ok := byCell[key]; !ok {
+			byCell[key] = r
+		}
+		rowReq[row][r.OutPort] = true
+	}
+
+	// Phase one: each output picks a row.
+	pick := make([]int, o.cfg.Ports) // chosen row per output, -1 if none
+	for out := range pick {
+		pick[out] = -1
+		for i := 0; i < rows; i++ {
+			row := (o.outPtr[out] + i) % rows
+			if rowReq[row][out] {
+				pick[out] = row
+				break
+			}
+		}
+	}
+
+	// Phase two: each row accepts one of the outputs that picked it.
+	var grants []vix.SwitchGrant
+	for row := 0; row < rows; row++ {
+		accepted := -1
+		for i := 0; i < o.cfg.Ports; i++ {
+			out := (o.rowPtr[row] + i) % o.cfg.Ports
+			if pick[out] == row {
+				accepted = out
+				break
+			}
+		}
+		if accepted < 0 {
+			continue
+		}
+		req := byCell[[2]int{row, accepted}]
+		grants = append(grants, vix.SwitchGrant{
+			Port: req.Port, VC: req.VC, OutPort: accepted, Row: row,
+		})
+		o.rowPtr[row] = (accepted + 1) % o.cfg.Ports
+		o.outPtr[accepted] = (row + 1) % rows
+	}
+	return grants
+}
+
+func saturation(kind vix.AllocatorKind, k int) vix.Snapshot {
+	topo := vix.NewMeshTopology(8, 8)
+	policy := vix.PolicyMaxFree
+	if k > 1 {
+		policy = vix.PolicyBalanced
+	}
+	n, err := vix.NewNetwork(vix.NetworkConfig{
+		Topology: topo,
+		Router: vix.RouterConfig{
+			Ports: topo.Radix, VCs: 6, VirtualInputs: k, BufDepth: 5,
+			AllocKind: kind, Policy: policy,
+		},
+		Pattern:      vix.NewUniformTraffic(topo.NumNodes),
+		MaxInjection: true,
+		PacketSize:   4,
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n.Warmup(1500)
+	return n.Measure(5000)
+}
+
+func main() {
+	const kindOutputFirst = vix.AllocatorKind("output-first")
+	if err := vix.RegisterAllocator(kindOutputFirst, newOutputFirst); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Saturated 8x8 mesh, 6 VCs, 4-flit packets")
+	for _, c := range []struct {
+		label string
+		kind  vix.AllocatorKind
+		k     int
+	}{
+		{"input-first (built-in)", vix.AllocSeparableIF, 1},
+		{"output-first (custom)", kindOutputFirst, 1},
+		{"output-first + VIX", kindOutputFirst, 2},
+		{"input-first + VIX", vix.AllocSeparableIF, 2},
+	} {
+		s := saturation(c.kind, c.k)
+		fmt.Printf("%-24s %.4f flits/cycle/node, %.1f cycles avg latency\n",
+			c.label, s.ThroughputFlits, s.AvgLatency)
+	}
+	fmt.Println("\nVIX composes with any separable allocator: both input-first and the")
+	fmt.Println("custom output-first scheme gain throughput from the wider crossbar.")
+}

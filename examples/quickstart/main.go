@@ -1,0 +1,50 @@
+// Quickstart: simulate an 8x8 mesh twice — once with the conventional
+// separable input-first allocator and once with VIX (two virtual inputs
+// per port) — and print the latency and throughput of both under the same
+// near-saturation load.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vix"
+)
+
+func run(virtualInputs int, policy vix.RouterConfig) vix.Snapshot {
+	topo := vix.NewMeshTopology(8, 8)
+	n, err := vix.NewNetwork(vix.NetworkConfig{
+		Topology:      topo,
+		Router:        policy,
+		Pattern:       vix.NewUniformTraffic(topo.NumNodes),
+		InjectionRate: 0.09, // packets/cycle/node, near mesh saturation
+		PacketSize:    4,    // 512-bit packets over a 128-bit datapath
+		Seed:          1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n.Warmup(2000)
+	return n.Measure(6000)
+}
+
+func main() {
+	baseline := vix.RouterConfig{
+		Ports: 5, VCs: 6, VirtualInputs: 1, BufDepth: 5,
+		AllocKind: vix.AllocSeparableIF, Policy: vix.PolicyMaxFree,
+	}
+	withVIX := baseline
+	withVIX.VirtualInputs = 2
+	withVIX.Policy = vix.PolicyBalanced // dimension-aware + load-balanced VC assignment
+
+	base := run(1, baseline)
+	vixRes := run(2, withVIX)
+
+	fmt.Println("8x8 mesh, uniform random, 0.09 packets/cycle/node, 6 VCs x 5 flits")
+	fmt.Printf("%-22s %12s %12s\n", "", "baseline IF", "VIX (k=2)")
+	fmt.Printf("%-22s %12.2f %12.2f\n", "avg latency (cycles)", base.AvgLatency, vixRes.AvgLatency)
+	fmt.Printf("%-22s %12.4f %12.4f\n", "flits/cycle/node", base.ThroughputFlits, vixRes.ThroughputFlits)
+	fmt.Printf("%-22s %12.2f %12.2f\n", "fairness (max/min)", base.FairnessRatio, vixRes.FairnessRatio)
+	fmt.Printf("\nVIX latency change at this load: %+.1f%%\n",
+		100*(vixRes.AvgLatency/base.AvgLatency-1))
+}

@@ -1,0 +1,3 @@
+module vix
+
+go 1.22

@@ -1,0 +1,194 @@
+// Package alloc implements switch allocators for virtual-channel NoC
+// routers, including the paper's Virtual Input Crossbar (VIX) technique.
+//
+// A switch allocator matches requesting input virtual channels to output
+// ports each cycle. The crossbar geometry is captured by Config: a router
+// with P ports and k virtual inputs per port has a kP x P crossbar. The
+// v VCs of each input port are partitioned into k contiguous sub-groups,
+// each feeding one crossbar row (virtual input). With k = 1 this is the
+// conventional P x P crossbar; k = 2 is the paper's practical VIX
+// configuration; k = v is the ideal VIX where every VC has its own
+// crossbar input.
+//
+// Every allocator must produce a conflict-free grant set:
+//
+//   - at most one grant per crossbar row (virtual input), and
+//   - at most one grant per output port, and
+//   - every grant corresponds to an offered request.
+//
+// Validate checks these invariants and is exercised by property tests.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Partition selects how a port's VCs are divided among its virtual
+// inputs.
+type Partition uint8
+
+// VC partition schemes.
+const (
+	// Contiguous assigns VCs to sub-groups in blocks: with v = 6, k = 2,
+	// VCs 0-2 feed virtual input 0 and VCs 3-5 feed virtual input 1.
+	// This matches the paper's Figure 2 (a multiplexer over v/2 adjacent
+	// VCs) and is the default.
+	Contiguous Partition = iota
+	// Interleaved assigns VCs round-robin: VC i feeds virtual input
+	// i mod k. An ablation alternative with different wiring locality.
+	Interleaved
+)
+
+// Config describes the crossbar geometry an allocator serves.
+type Config struct {
+	// Ports is the router radix P: the number of physical input ports,
+	// which equals the number of output ports.
+	Ports int
+	// VCs is the number of virtual channels per input port.
+	VCs int
+	// VirtualInputs is the number of crossbar inputs per physical input
+	// port (k). 1 models the conventional crossbar, 2 the paper's VIX,
+	// and VCs the ideal VIX.
+	VirtualInputs int
+	// Partition selects the VC-to-sub-group mapping (default Contiguous,
+	// the paper's scheme).
+	Partition Partition
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Ports <= 0:
+		return errors.New("alloc: Ports must be positive")
+	case c.VCs <= 0:
+		return errors.New("alloc: VCs must be positive")
+	case c.VirtualInputs <= 0:
+		return errors.New("alloc: VirtualInputs must be positive")
+	case c.VirtualInputs > c.VCs:
+		return fmt.Errorf("alloc: VirtualInputs (%d) exceeds VCs (%d)", c.VirtualInputs, c.VCs)
+	}
+	return nil
+}
+
+// Rows returns the number of crossbar inputs (kP).
+func (c Config) Rows() int { return c.Ports * c.VirtualInputs }
+
+// GroupSize returns the number of VCs feeding one virtual input. The last
+// sub-group of a port may be smaller when VCs is not divisible by
+// VirtualInputs.
+func (c Config) GroupSize() int {
+	return (c.VCs + c.VirtualInputs - 1) / c.VirtualInputs
+}
+
+// Subgroup returns the virtual-input sub-group index of vc within its
+// port, per the configured Partition.
+func (c Config) Subgroup(vc int) int {
+	if c.Partition == Interleaved {
+		return vc % c.VirtualInputs
+	}
+	g := vc / c.GroupSize()
+	if g >= c.VirtualInputs {
+		g = c.VirtualInputs - 1
+	}
+	return g
+}
+
+// Row returns the crossbar row (virtual input index) that carries traffic
+// from the given port and VC.
+func (c Config) Row(port, vc int) int {
+	return port*c.VirtualInputs + c.Subgroup(vc)
+}
+
+// Slot returns the index of vc within its sub-group, i.e. the input-arbiter
+// request line it drives.
+func (c Config) Slot(vc int) int {
+	if c.Partition == Interleaved {
+		return vc / c.VirtualInputs
+	}
+	return vc - c.Subgroup(vc)*c.GroupSize()
+}
+
+// Request is one input VC asking for one output port this cycle. A VC
+// offers at most one request per cycle (its head flit has a single route).
+type Request struct {
+	Port    int // input port
+	VC      int // virtual channel within the port
+	OutPort int // requested output port
+	// Age is how many cycles the requesting flit has waited at the front
+	// of its buffer. Only age-aware allocators (KindSeparableAge) consult
+	// it; zero is always safe.
+	Age int
+}
+
+// Grant records that the flit at (Port, VC) may traverse the crossbar to
+// OutPort this cycle via crossbar row Row.
+type Grant struct {
+	Port    int
+	VC      int
+	OutPort int
+	Row     int
+}
+
+// RequestSet is the per-cycle input to an allocator.
+type RequestSet struct {
+	Config   Config
+	Requests []Request
+}
+
+// Allocator matches requests to crossbar resources for one cycle.
+// Allocators are stateful (arbiter priorities, chaining history) and are
+// not safe for concurrent use; each router owns its own instance.
+type Allocator interface {
+	// Name returns a short identifier such as "if" or "wavefront".
+	Name() string
+	// Allocate returns a conflict-free grant set for the request set.
+	Allocate(rs *RequestSet) []Grant
+	// Reset restores initial arbiter state and clears history.
+	Reset()
+}
+
+// Validate checks that grants form a legal allocation for rs: every grant
+// matches an offered request, no crossbar row is granted twice, and no
+// output port is granted twice. It returns nil for a legal allocation.
+func Validate(rs *RequestSet, grants []Grant) error {
+	offered := make(map[[3]int]bool, len(rs.Requests))
+	for _, r := range rs.Requests {
+		offered[[3]int{r.Port, r.VC, r.OutPort}] = true
+	}
+	rowUsed := make(map[int]bool)
+	outUsed := make(map[int]bool)
+	vcUsed := make(map[[2]int]bool)
+	for _, g := range grants {
+		if !offered[[3]int{g.Port, g.VC, g.OutPort}] {
+			return fmt.Errorf("alloc: grant %+v has no matching request", g)
+		}
+		if want := rs.Config.Row(g.Port, g.VC); g.Row != want {
+			return fmt.Errorf("alloc: grant %+v has row %d, want %d", g, g.Row, want)
+		}
+		if rowUsed[g.Row] {
+			return fmt.Errorf("alloc: crossbar row %d granted twice", g.Row)
+		}
+		if outUsed[g.OutPort] {
+			return fmt.Errorf("alloc: output port %d granted twice", g.OutPort)
+		}
+		if vcUsed[[2]int{g.Port, g.VC}] {
+			return fmt.Errorf("alloc: VC (%d,%d) granted twice", g.Port, g.VC)
+		}
+		rowUsed[g.Row] = true
+		outUsed[g.OutPort] = true
+		vcUsed[[2]int{g.Port, g.VC}] = true
+	}
+	return nil
+}
+
+// rowRequests groups the request indices of rs by crossbar row.
+// The returned slice has Config.Rows() entries.
+func rowRequests(rs *RequestSet) [][]int {
+	rows := make([][]int, rs.Config.Rows())
+	for i, r := range rs.Requests {
+		row := rs.Config.Row(r.Port, r.VC)
+		rows[row] = append(rows[row], i)
+	}
+	return rows
+}

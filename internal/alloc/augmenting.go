@@ -1,0 +1,132 @@
+package alloc
+
+import "vix/internal/arb"
+
+// AugmentingPath computes a maximum bipartite matching between crossbar
+// rows and output ports each cycle using Kuhn's augmenting-path algorithm
+// (the Ford-Fulkerson construction the paper cites). It is the "AP"
+// scheme of the evaluation: the best matching a single cycle can achieve
+// on the offered request matrix.
+//
+// The paper deems AP infeasible to implement within a router cycle
+// (Table 3) and observes that, despite its per-router optimality, greedy
+// maximum matching is locally optimal but globally unfair at the network
+// level (Figure 9). The implementation is deliberately deterministic in
+// its search order — exactly the behaviour a hardware realisation would
+// have — which is what produces that unfairness.
+type AugmentingPath struct {
+	cfg    Config
+	vcPick []arb.Arbiter // per row, selects the transmitting VC
+
+	// scratch for matching
+	adj     [][]int // adj[row] = outputs requested
+	matchTo []int   // matchTo[out] = row, -1 if free
+	visited []bool
+}
+
+// NewAugmentingPath returns a maximum-matching allocator for cfg. It
+// panics if cfg is invalid.
+func NewAugmentingPath(cfg Config) *AugmentingPath {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	a := &AugmentingPath{
+		cfg:     cfg,
+		adj:     make([][]int, cfg.Rows()),
+		matchTo: make([]int, cfg.Ports),
+		visited: make([]bool, cfg.Ports),
+	}
+	a.vcPick = make([]arb.Arbiter, cfg.Rows())
+	for i := range a.vcPick {
+		a.vcPick[i] = arb.NewRoundRobin(cfg.GroupSize())
+	}
+	return a
+}
+
+// Name implements Allocator.
+func (a *AugmentingPath) Name() string { return "ap" }
+
+// Reset implements Allocator.
+func (a *AugmentingPath) Reset() {
+	for _, p := range a.vcPick {
+		p.Reset()
+	}
+}
+
+// Allocate implements Allocator.
+func (a *AugmentingPath) Allocate(rs *RequestSet) []Grant {
+	rows := a.cfg.Rows()
+	for i := 0; i < rows; i++ {
+		a.adj[i] = a.adj[i][:0]
+	}
+	// Representative request per (row, out); VC choice refined afterwards.
+	rep := make(map[[2]int][]int)
+	for idx, r := range rs.Requests {
+		row := a.cfg.Row(r.Port, r.VC)
+		key := [2]int{row, r.OutPort}
+		if len(rep[key]) == 0 {
+			a.adj[row] = append(a.adj[row], r.OutPort)
+		}
+		rep[key] = append(rep[key], idx)
+	}
+	for i := range a.matchTo {
+		a.matchTo[i] = -1
+	}
+	for row := 0; row < rows; row++ {
+		if len(a.adj[row]) == 0 {
+			continue
+		}
+		for i := range a.visited {
+			a.visited[i] = false
+		}
+		a.augment(row)
+	}
+
+	var grants []Grant
+	for out, row := range a.matchTo {
+		if row < 0 {
+			continue
+		}
+		idx := a.pickVC(rs, rep[[2]int{row, out}], row)
+		req := rs.Requests[idx]
+		grants = append(grants, Grant{Port: req.Port, VC: req.VC, OutPort: out, Row: row})
+	}
+	return grants
+}
+
+// augment tries to find an augmenting path from row; it returns true and
+// updates the matching if one exists.
+func (a *AugmentingPath) augment(row int) bool {
+	for _, out := range a.adj[row] {
+		if a.visited[out] {
+			continue
+		}
+		a.visited[out] = true
+		if a.matchTo[out] < 0 || a.augment(a.matchTo[out]) {
+			a.matchTo[out] = row
+			return true
+		}
+	}
+	return false
+}
+
+func (a *AugmentingPath) pickVC(rs *RequestSet, reqIdxs []int, row int) int {
+	if len(reqIdxs) == 1 {
+		return reqIdxs[0]
+	}
+	slotReq := make([]bool, a.cfg.GroupSize())
+	slotToReq := make([]int, a.cfg.GroupSize())
+	for i := range slotToReq {
+		slotToReq[i] = -1
+	}
+	for _, idx := range reqIdxs {
+		slot := a.cfg.Slot(rs.Requests[idx].VC)
+		slotReq[slot] = true
+		if slotToReq[slot] < 0 {
+			slotToReq[slot] = idx
+		}
+	}
+	slot := a.vcPick[row].Arbitrate(slotReq)
+	a.vcPick[row].Ack(slot)
+	return slotToReq[slot]
+}

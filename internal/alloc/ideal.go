@@ -1,0 +1,85 @@
+package alloc
+
+import "vix/internal/arb"
+
+// Ideal is the paper's optimal switch allocator: every output port with at
+// least one requesting input VC transmits a flit each cycle. It models a
+// crossbar with one virtual input per VC (k = v), where the only physical
+// constraint left is the output link itself, so per-output arbitration
+// alone achieves optimal allocation. Each output uses a round-robin
+// arbiter over all P*v input VCs for long-run fairness.
+//
+// Ideal ignores Config.VirtualInputs: it behaves as if VirtualInputs were
+// VCs, and reports crossbar rows accordingly (its grants are validated
+// against a per-VC-row geometry only when the configured geometry already
+// is per-VC). It is the reference curve of Figures 7 and 12.
+type Ideal struct {
+	cfg     Config
+	outArbs []arb.Arbiter // per output, over Ports*VCs request lines
+	reqVec  []bool
+	reqIdx  []int
+}
+
+// NewIdeal returns an ideal allocator for cfg. It panics if cfg is
+// invalid.
+func NewIdeal(cfg Config) *Ideal {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.Ports * cfg.VCs
+	id := &Ideal{
+		cfg:    cfg,
+		reqVec: make([]bool, n),
+		reqIdx: make([]int, n),
+	}
+	id.outArbs = make([]arb.Arbiter, cfg.Ports)
+	for i := range id.outArbs {
+		id.outArbs[i] = arb.NewRoundRobin(n)
+	}
+	return id
+}
+
+// Name implements Allocator.
+func (id *Ideal) Name() string { return "ideal" }
+
+// Reset implements Allocator.
+func (id *Ideal) Reset() {
+	for _, a := range id.outArbs {
+		a.Reset()
+	}
+}
+
+// Allocate implements Allocator.
+func (id *Ideal) Allocate(rs *RequestSet) []Grant {
+	// Group requests by output.
+	byOut := make([][]int, id.cfg.Ports)
+	for idx, r := range rs.Requests {
+		byOut[r.OutPort] = append(byOut[r.OutPort], idx)
+	}
+	var grants []Grant
+	for out, idxs := range byOut {
+		if len(idxs) == 0 {
+			continue
+		}
+		for i := range id.reqVec {
+			id.reqVec[i] = false
+			id.reqIdx[i] = -1
+		}
+		for _, idx := range idxs {
+			r := rs.Requests[idx]
+			line := r.Port*id.cfg.VCs + r.VC
+			id.reqVec[line] = true
+			id.reqIdx[line] = idx
+		}
+		line := id.outArbs[out].Arbitrate(id.reqVec)
+		id.outArbs[out].Ack(line)
+		req := rs.Requests[id.reqIdx[line]]
+		grants = append(grants, Grant{
+			Port:    req.Port,
+			VC:      req.VC,
+			OutPort: out,
+			Row:     rs.Config.Row(req.Port, req.VC),
+		})
+	}
+	return grants
+}

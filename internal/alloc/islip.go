@@ -1,0 +1,177 @@
+package alloc
+
+import "vix/internal/arb"
+
+// ISLIP is the iterative separable allocator of McKeown, cited by the
+// paper as the classic approach to the sub-optimal matching problem:
+// run request-grant-accept rounds until no more grants can be added (or
+// an iteration budget is exhausted). Each extra iteration recovers
+// matches a single-pass separable allocator loses to uncoordinated
+// decisions, at the cost of delay — which is exactly the trade the paper
+// argues VIX avoids by widening the crossbar instead.
+//
+// Round structure (output-first iSLIP, per the original):
+//
+//	grant:  every unmatched output offers a grant to one requesting row
+//	        (rotating pointer);
+//	accept: every unmatched row accepts one of the outputs granting to it
+//	        (rotating pointer); accepted pairs leave the pool.
+//
+// Pointers advance only on accepted grants and only in the first
+// iteration, preserving iSLIP's desynchronisation property.
+type ISLIP struct {
+	cfg        Config
+	iterations int
+	grantArbs  []arb.Arbiter // per output, over rows
+	acceptArbs []arb.Arbiter // per row, over outputs
+	vcPick     []arb.Arbiter // per row, over sub-group VC slots
+
+	rowVec []bool
+	outVec []bool
+}
+
+// NewISLIP returns an iSLIP allocator running the given number of
+// iterations (clamped to at least 1). It panics if cfg is invalid.
+func NewISLIP(cfg Config, iterations int) *ISLIP {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if iterations < 1 {
+		iterations = 1
+	}
+	s := &ISLIP{
+		cfg:        cfg,
+		iterations: iterations,
+		rowVec:     make([]bool, cfg.Rows()),
+		outVec:     make([]bool, cfg.Ports),
+	}
+	s.grantArbs = make([]arb.Arbiter, cfg.Ports)
+	for i := range s.grantArbs {
+		s.grantArbs[i] = arb.NewRoundRobin(cfg.Rows())
+	}
+	s.acceptArbs = make([]arb.Arbiter, cfg.Rows())
+	s.vcPick = make([]arb.Arbiter, cfg.Rows())
+	for i := range s.acceptArbs {
+		s.acceptArbs[i] = arb.NewRoundRobin(cfg.Ports)
+		s.vcPick[i] = arb.NewRoundRobin(cfg.GroupSize())
+	}
+	return s
+}
+
+// Name implements Allocator.
+func (s *ISLIP) Name() string { return "islip" }
+
+// Iterations returns the configured iteration count.
+func (s *ISLIP) Iterations() int { return s.iterations }
+
+// Reset implements Allocator.
+func (s *ISLIP) Reset() {
+	for _, a := range s.grantArbs {
+		a.Reset()
+	}
+	for _, a := range s.acceptArbs {
+		a.Reset()
+	}
+	for _, a := range s.vcPick {
+		a.Reset()
+	}
+}
+
+// Allocate implements Allocator.
+func (s *ISLIP) Allocate(rs *RequestSet) []Grant {
+	rows, outs := s.cfg.Rows(), s.cfg.Ports
+	// req[row][out] true if any VC of the row requests out; cells holds
+	// the request indices per (row, out) for VC selection.
+	req := make([][]bool, rows)
+	for i := range req {
+		req[i] = make([]bool, outs)
+	}
+	cells := make(map[[2]int][]int)
+	for idx, r := range rs.Requests {
+		row := s.cfg.Row(r.Port, r.VC)
+		req[row][r.OutPort] = true
+		key := [2]int{row, r.OutPort}
+		cells[key] = append(cells[key], idx)
+	}
+
+	rowDone := make([]bool, rows)
+	outDone := make([]bool, outs)
+	var grants []Grant
+
+	for iter := 0; iter < s.iterations; iter++ {
+		// Grant phase: each unmatched output picks one requesting,
+		// unmatched row.
+		granted := make([]int, rows) // granted[row] collects outputs as a bitset index list
+		grantsTo := make([][]bool, rows)
+		any := false
+		for out := 0; out < outs; out++ {
+			if outDone[out] {
+				continue
+			}
+			for row := 0; row < rows; row++ {
+				s.rowVec[row] = !rowDone[row] && req[row][out]
+			}
+			row := s.grantArbs[out].Arbitrate(s.rowVec)
+			if row < 0 {
+				continue
+			}
+			if grantsTo[row] == nil {
+				grantsTo[row] = make([]bool, outs)
+			}
+			grantsTo[row][out] = true
+			granted[row]++
+			any = true
+		}
+		if !any {
+			break
+		}
+		// Accept phase: each row with offers accepts one output.
+		progress := false
+		for row := 0; row < rows; row++ {
+			if rowDone[row] || granted[row] == 0 {
+				continue
+			}
+			out := s.acceptArbs[row].Arbitrate(grantsTo[row])
+			if out < 0 {
+				continue
+			}
+			idx := s.pickVC(rs, cells[[2]int{row, out}], row)
+			r := rs.Requests[idx]
+			grants = append(grants, Grant{Port: r.Port, VC: r.VC, OutPort: out, Row: row})
+			rowDone[row] = true
+			outDone[out] = true
+			progress = true
+			// iSLIP pointer discipline: update only on first-iteration
+			// accepts so pointers desynchronise.
+			if iter == 0 {
+				s.grantArbs[out].Ack(row)
+				s.acceptArbs[row].Ack(out)
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return grants
+}
+
+func (s *ISLIP) pickVC(rs *RequestSet, reqIdxs []int, row int) int {
+	if len(reqIdxs) == 1 {
+		return reqIdxs[0]
+	}
+	slotReq := make([]bool, s.cfg.GroupSize())
+	slotToReq := make([]int, s.cfg.GroupSize())
+	for i := range slotToReq {
+		slotToReq[i] = -1
+	}
+	for _, idx := range reqIdxs {
+		slot := s.cfg.Slot(rs.Requests[idx].VC)
+		slotReq[slot] = true
+		if slotToReq[slot] < 0 {
+			slotToReq[slot] = idx
+		}
+	}
+	slot := s.vcPick[row].Arbitrate(slotReq)
+	s.vcPick[row].Ack(slot)
+	return slotToReq[slot]
+}

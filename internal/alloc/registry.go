@@ -1,0 +1,108 @@
+package alloc
+
+import "fmt"
+
+// Kind names a switch-allocation scheme from the paper's evaluation.
+type Kind string
+
+// The allocation schemes of Section 4.1 plus the packet-chaining
+// comparison point of Section 4.4.
+const (
+	// KindSeparableIF is the separable input-first allocator (IF). With
+	// Config.VirtualInputs = 2 it is the paper's VIX configuration.
+	KindSeparableIF Kind = "if"
+	// KindWavefront is the wavefront allocator (WF).
+	KindWavefront Kind = "wavefront"
+	// KindAugmentingPath is maximum matching via augmenting paths (AP).
+	KindAugmentingPath Kind = "ap"
+	// KindPacketChaining is SameInput/anyVC packet chaining (PC).
+	KindPacketChaining Kind = "pc"
+	// KindIdeal serves every requested output port each cycle; it models
+	// a crossbar with one virtual input per VC.
+	KindIdeal Kind = "ideal"
+	// KindISLIP is the iterative separable allocator of McKeown with two
+	// grant/accept iterations (use NewISLIP for other iteration counts).
+	KindISLIP Kind = "islip"
+	// KindSparoflo approximates the SPAROFLO allocator of Kumar et al.:
+	// two requests per port exposed to output arbitration, conflicts
+	// resolved after the fact on a conventional crossbar.
+	KindSparoflo Kind = "sparoflo"
+	// KindSeparableAge is the separable input-first allocator with
+	// oldest-first prioritisation in both phases (the SPAROFLO-style
+	// optimisation the paper suggests integrating with VIX).
+	KindSeparableAge Kind = "if-age"
+)
+
+// Kinds lists all supported built-in allocator kinds in evaluation order.
+func Kinds() []Kind {
+	return []Kind{KindSeparableIF, KindWavefront, KindAugmentingPath, KindPacketChaining, KindIdeal, KindISLIP, KindSparoflo, KindSeparableAge}
+}
+
+// custom holds user-registered allocator factories (see Register).
+var custom = map[Kind]func(Config) (Allocator, error){}
+
+// Register installs a custom allocator factory under kind, making it
+// usable anywhere a built-in Kind is accepted (router configs, the
+// vixsim CLI). Registering a built-in kind or registering the same kind
+// twice is an error. Register is not safe for concurrent use; call it
+// during program initialisation.
+func Register(kind Kind, factory func(Config) (Allocator, error)) error {
+	if factory == nil {
+		return fmt.Errorf("alloc: nil factory for %q", kind)
+	}
+	for _, k := range Kinds() {
+		if k == kind {
+			return fmt.Errorf("alloc: cannot override built-in kind %q", kind)
+		}
+	}
+	if _, dup := custom[kind]; dup {
+		return fmt.Errorf("alloc: kind %q already registered", kind)
+	}
+	custom[kind] = factory
+	return nil
+}
+
+// New constructs an allocator of the given kind for cfg.
+func New(kind Kind, cfg Config) (Allocator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if factory, ok := custom[kind]; ok {
+		return factory(cfg)
+	}
+	switch kind {
+	case KindSeparableIF:
+		return NewSeparableIF(cfg), nil
+	case KindWavefront:
+		return NewWavefront(cfg), nil
+	case KindAugmentingPath:
+		return NewAugmentingPath(cfg), nil
+	case KindPacketChaining:
+		return NewPacketChaining(cfg), nil
+	case KindIdeal:
+		if cfg.VirtualInputs != cfg.VCs {
+			return nil, fmt.Errorf("alloc: ideal allocator needs VirtualInputs == VCs (per-VC crossbar rows), got %d != %d", cfg.VirtualInputs, cfg.VCs)
+		}
+		return NewIdeal(cfg), nil
+	case KindISLIP:
+		return NewISLIP(cfg, 2), nil
+	case KindSeparableAge:
+		return NewSeparableAge(cfg), nil
+	case KindSparoflo:
+		if cfg.VirtualInputs != 1 {
+			return nil, fmt.Errorf("alloc: sparoflo is defined on the conventional crossbar (VirtualInputs == 1), got %d", cfg.VirtualInputs)
+		}
+		return NewSparoflo(cfg), nil
+	default:
+		return nil, fmt.Errorf("alloc: unknown allocator kind %q", kind)
+	}
+}
+
+// MustNew is New but panics on error; for tests and examples.
+func MustNew(kind Kind, cfg Config) Allocator {
+	a, err := New(kind, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

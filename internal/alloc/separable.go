@@ -1,0 +1,135 @@
+package alloc
+
+import "vix/internal/arb"
+
+// SeparableIF is the input-first separable allocator. It allocates in two
+// phases: one input arbiter per crossbar row selects a candidate VC among
+// the row's sub-group, then one output arbiter per output port selects a
+// winning row among the candidates requesting it.
+//
+// With Config.VirtualInputs = 1 this is the conventional baseline
+// allocator (one winner per input port); with VirtualInputs = 2 it is the
+// paper's VIX allocator, where two VCs of one port can win in the same
+// cycle through different crossbar rows; with VirtualInputs = VCs it
+// degenerates to the ideal VIX with per-VC crossbar inputs.
+//
+// Arbiter pointers follow iSLIP semantics: an input arbiter advances its
+// pointer only when its candidate also wins output arbitration, so a VC
+// that loses in phase two keeps priority the next cycle.
+type SeparableIF struct {
+	cfg        Config
+	inputArbs  []arb.Arbiter // one per crossbar row, over GroupSize slots
+	outputArbs []arb.Arbiter // one per output port, over Rows rows
+
+	// scratch buffers reused across cycles to avoid per-cycle allocation.
+	slotReq   []bool
+	rowReq    []bool
+	candidate []int // per row: winning request index, -1 if none
+}
+
+// NewSeparableIF returns a separable input-first allocator for cfg.
+// It panics if cfg is invalid.
+func NewSeparableIF(cfg Config) *SeparableIF {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &SeparableIF{
+		cfg:       cfg,
+		slotReq:   make([]bool, cfg.GroupSize()),
+		rowReq:    make([]bool, cfg.Rows()),
+		candidate: make([]int, cfg.Rows()),
+	}
+	s.inputArbs = make([]arb.Arbiter, cfg.Rows())
+	for i := range s.inputArbs {
+		s.inputArbs[i] = arb.NewRoundRobin(cfg.GroupSize())
+	}
+	s.outputArbs = make([]arb.Arbiter, cfg.Ports)
+	for i := range s.outputArbs {
+		s.outputArbs[i] = arb.NewRoundRobin(cfg.Rows())
+	}
+	return s
+}
+
+// Name implements Allocator.
+func (s *SeparableIF) Name() string {
+	if s.cfg.VirtualInputs > 1 {
+		return "vix-if"
+	}
+	return "if"
+}
+
+// Reset implements Allocator.
+func (s *SeparableIF) Reset() {
+	for _, a := range s.inputArbs {
+		a.Reset()
+	}
+	for _, a := range s.outputArbs {
+		a.Reset()
+	}
+}
+
+// Allocate implements Allocator.
+func (s *SeparableIF) Allocate(rs *RequestSet) []Grant {
+	rows := rowRequests(rs)
+
+	// Phase one: each crossbar row's input arbiter picks one VC.
+	for row := range s.candidate {
+		s.candidate[row] = -1
+		if len(rows[row]) == 0 {
+			continue
+		}
+		for i := range s.slotReq {
+			s.slotReq[i] = false
+		}
+		// Map request indices onto arbiter slots.
+		slotToReq := s.slotScratch(rows[row], rs)
+		for slot, reqIdx := range slotToReq {
+			s.slotReq[slot] = reqIdx >= 0
+		}
+		if slot := s.inputArbs[row].Arbitrate(s.slotReq); slot >= 0 {
+			s.candidate[row] = slotToReq[slot]
+		}
+	}
+
+	// Phase two: each output arbiter picks one row among candidates.
+	grants := make([]Grant, 0, s.cfg.Ports)
+	for out := 0; out < s.cfg.Ports; out++ {
+		for i := range s.rowReq {
+			s.rowReq[i] = false
+		}
+		any := false
+		for row, reqIdx := range s.candidate {
+			if reqIdx >= 0 && rs.Requests[reqIdx].OutPort == out {
+				s.rowReq[row] = true
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		row := s.outputArbs[out].Arbitrate(s.rowReq)
+		req := rs.Requests[s.candidate[row]]
+		grants = append(grants, Grant{Port: req.Port, VC: req.VC, OutPort: out, Row: row})
+		// iSLIP pointer update: both arbiters advance only on a grant.
+		s.outputArbs[out].Ack(row)
+		s.inputArbs[row].Ack(s.cfg.Slot(req.VC))
+	}
+	return grants
+}
+
+// slotScratch maps each input-arbiter slot of a row to the index of the
+// request offered by the VC in that slot, or -1. At most one request per
+// VC is assumed (callers offer one request per head flit).
+func (s *SeparableIF) slotScratch(reqIdxs []int, rs *RequestSet) []int {
+	slots := make([]int, s.cfg.GroupSize())
+	for i := range slots {
+		slots[i] = -1
+	}
+	for _, idx := range reqIdxs {
+		slot := s.cfg.Slot(rs.Requests[idx].VC)
+		if slots[slot] < 0 {
+			slots[slot] = idx
+		}
+	}
+	return slots
+}

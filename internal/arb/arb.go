@@ -1,0 +1,146 @@
+// Package arb implements the arbiter primitives used by NoC switch and
+// virtual-channel allocators: programmable-priority round-robin arbiters
+// and matrix (least-recently-granted) arbiters.
+//
+// Arbiters separate the combinational decision (Arbitrate) from the
+// priority-state update (Ack). Separable allocators in the iSLIP style
+// update an arbiter's priority only when its choice results in an actual
+// grant, which is why the two steps are distinct: an input arbiter whose
+// winning virtual channel subsequently loses output arbitration must keep
+// its pointer so the same VC retains priority next cycle.
+package arb
+
+// Arbiter selects one winner from a set of requestors.
+type Arbiter interface {
+	// Arbitrate returns the index of the winning requestor given the
+	// request vector, or -1 if no requests are asserted. It does not
+	// change arbiter state. len(req) must equal Size.
+	Arbitrate(req []bool) int
+	// Ack informs the arbiter that the given requestor's grant was
+	// accepted, updating priority state so the arbiter is fair over time.
+	Ack(winner int)
+	// Size returns the number of requestors the arbiter serves.
+	Size() int
+	// Reset restores the initial priority state.
+	Reset()
+}
+
+// RoundRobin is a rotating-priority arbiter. After a grant is acknowledged
+// the requestor immediately after the winner has the highest priority,
+// giving each requestor a fair share under persistent contention.
+type RoundRobin struct {
+	n   int
+	ptr int
+}
+
+// NewRoundRobin returns a round-robin arbiter over n requestors.
+// It panics if n <= 0.
+func NewRoundRobin(n int) *RoundRobin {
+	if n <= 0 {
+		panic("arb: NewRoundRobin with non-positive size")
+	}
+	return &RoundRobin{n: n}
+}
+
+// Size returns the number of requestors.
+func (a *RoundRobin) Size() int { return a.n }
+
+// Arbitrate returns the requesting index at or after the priority pointer,
+// wrapping around; -1 if req is all false.
+func (a *RoundRobin) Arbitrate(req []bool) int {
+	if len(req) != a.n {
+		panic("arb: request vector size mismatch")
+	}
+	for i := 0; i < a.n; i++ {
+		idx := (a.ptr + i) % a.n
+		if req[idx] {
+			return idx
+		}
+	}
+	return -1
+}
+
+// Ack moves the priority pointer to the requestor after winner.
+func (a *RoundRobin) Ack(winner int) {
+	if winner < 0 || winner >= a.n {
+		panic("arb: Ack winner out of range")
+	}
+	a.ptr = (winner + 1) % a.n
+}
+
+// Reset restores priority to requestor 0.
+func (a *RoundRobin) Reset() { a.ptr = 0 }
+
+// Matrix is a least-recently-granted arbiter. It maintains a triangular
+// priority matrix where prio[i][j] means requestor i beats requestor j.
+// When a grant is acknowledged the winner's priority drops below everyone
+// else's, which yields strong fairness (each requestor is served before
+// any other requestor is served twice).
+type Matrix struct {
+	n    int
+	prio [][]bool
+}
+
+// NewMatrix returns a matrix arbiter over n requestors. It panics if
+// n <= 0.
+func NewMatrix(n int) *Matrix {
+	m := &Matrix{n: n}
+	if n <= 0 {
+		panic("arb: NewMatrix with non-positive size")
+	}
+	m.prio = make([][]bool, n)
+	for i := range m.prio {
+		m.prio[i] = make([]bool, n)
+	}
+	m.Reset()
+	return m
+}
+
+// Size returns the number of requestors.
+func (m *Matrix) Size() int { return m.n }
+
+// Reset restores the initial priority order 0 > 1 > ... > n-1.
+func (m *Matrix) Reset() {
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			m.prio[i][j] = i < j
+		}
+	}
+}
+
+// Arbitrate returns the requestor that beats all other requestors, or -1
+// if req is all false.
+func (m *Matrix) Arbitrate(req []bool) int {
+	if len(req) != m.n {
+		panic("arb: request vector size mismatch")
+	}
+	for i := 0; i < m.n; i++ {
+		if !req[i] {
+			continue
+		}
+		wins := true
+		for j := 0; j < m.n; j++ {
+			if j != i && req[j] && !m.prio[i][j] {
+				wins = false
+				break
+			}
+		}
+		if wins {
+			return i
+		}
+	}
+	return -1
+}
+
+// Ack lowers the winner's priority below all other requestors.
+func (m *Matrix) Ack(winner int) {
+	if winner < 0 || winner >= m.n {
+		panic("arb: Ack winner out of range")
+	}
+	for j := 0; j < m.n; j++ {
+		if j != winner {
+			m.prio[winner][j] = false
+			m.prio[j][winner] = true
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package config defines a declarative, JSON-serialisable description of
+// a network experiment and resolves it into the runtime configuration
+// objects. The vixsim CLI accepts such files via -config, which makes
+// sweeps scriptable and experiment setups reviewable.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"vix/internal/alloc"
+	"vix/internal/network"
+	"vix/internal/router"
+	"vix/internal/topology"
+	"vix/internal/traffic"
+)
+
+// Experiment is a complete, self-contained experiment description.
+// Zero-valued fields take the documented defaults.
+type Experiment struct {
+	// Topology: "mesh" (WxH), "cmesh" or "fbfly" (WxH with Conc
+	// terminals per router). Defaults: mesh 8x8 / cmesh,fbfly 4x4 c4.
+	Topology string `json:"topology"`
+	Width    int    `json:"width,omitempty"`
+	Height   int    `json:"height,omitempty"`
+	Conc     int    `json:"conc,omitempty"`
+
+	// Router microarchitecture.
+	VCs           int    `json:"vcs,omitempty"`            // default 6
+	BufDepth      int    `json:"buf_depth,omitempty"`      // default 5
+	VirtualInputs int    `json:"virtual_inputs,omitempty"` // default 1; 2 = VIX
+	Allocator     string `json:"allocator,omitempty"`      // default "if"
+	Policy        string `json:"policy,omitempty"`         // default by k
+	Partition     string `json:"partition,omitempty"`      // "contiguous" | "interleaved"
+	// NonSpeculative disables the speculative VA/SA overlap of the
+	// three-stage pipeline.
+	NonSpeculative bool `json:"non_speculative,omitempty"`
+
+	// Workload.
+	Pattern       string  `json:"pattern,omitempty"` // default "uniform"
+	InjectionRate float64 `json:"injection_rate,omitempty"`
+	MaxInjection  bool    `json:"max_injection,omitempty"`
+	PacketSize    int     `json:"packet_size,omitempty"` // default 4
+
+	// Simulation control.
+	Warmup      int    `json:"warmup,omitempty"`  // default 2000
+	Measure     int    `json:"measure,omitempty"` // default 6000
+	Seed        uint64 `json:"seed,omitempty"`
+	HopDelay    int    `json:"hop_delay,omitempty"`
+	CreditDelay int    `json:"credit_delay,omitempty"`
+}
+
+// Default returns the paper's standard configuration: an 8x8 mesh with
+// 6 VCs x 5-flit buffers, separable input-first allocation, uniform
+// random 4-flit packets at 0.05 packets/cycle/node.
+func Default() Experiment {
+	return Experiment{
+		Topology:      "mesh",
+		VCs:           6,
+		BufDepth:      5,
+		VirtualInputs: 1,
+		Allocator:     "if",
+		Pattern:       "uniform",
+		InjectionRate: 0.05,
+		PacketSize:    4,
+		Warmup:        2000,
+		Measure:       6000,
+		Seed:          1,
+	}
+}
+
+// Load reads an experiment description from a JSON file, applying
+// defaults for absent fields. Unknown fields are rejected to catch
+// typos.
+func Load(path string) (Experiment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Experiment{}, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	e := Default()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&e); err != nil {
+		return Experiment{}, fmt.Errorf("config: parsing %s: %w", path, err)
+	}
+	return e, nil
+}
+
+// Save writes the experiment as indented JSON.
+func (e Experiment) Save(path string) error {
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BuildTopology resolves the topology description.
+func (e Experiment) BuildTopology() (*topology.Topology, error) {
+	w, h, c := e.Width, e.Height, e.Conc
+	switch e.Topology {
+	case "", "mesh":
+		if w == 0 {
+			w, h = 8, 8
+		}
+		if h == 0 {
+			h = w
+		}
+		return topology.NewMesh(w, h), nil
+	case "cmesh":
+		if w == 0 {
+			w, h = 4, 4
+		}
+		if h == 0 {
+			h = w
+		}
+		if c == 0 {
+			c = 4
+		}
+		return topology.NewCMesh(w, h, c), nil
+	case "fbfly":
+		if w == 0 {
+			w, h = 4, 4
+		}
+		if h == 0 {
+			h = w
+		}
+		if c == 0 {
+			c = 4
+		}
+		return topology.NewFBfly(w, h, c), nil
+	default:
+		return nil, fmt.Errorf("config: unknown topology %q", e.Topology)
+	}
+}
+
+// Build resolves the full network configuration.
+func (e Experiment) Build() (network.Config, error) {
+	topo, err := e.BuildTopology()
+	if err != nil {
+		return network.Config{}, err
+	}
+	// The logical node grid for coordinate-based patterns is the square
+	// grid of terminals (8x8 for all 64-node configurations).
+	gw, gh := nodeGrid(topo.NumNodes)
+	patName := e.Pattern
+	if patName == "" {
+		patName = "uniform"
+	}
+	pat, err := traffic.New(patName, gw, gh)
+	if err != nil {
+		return network.Config{}, err
+	}
+	pol := router.PolicyKind(e.Policy)
+	if pol == "" {
+		pol = router.PolicyMaxFree
+		if e.VirtualInputs > 1 {
+			pol = router.PolicyBalanced
+		}
+	}
+	var part alloc.Partition
+	switch e.Partition {
+	case "", "contiguous":
+		part = alloc.Contiguous
+	case "interleaved":
+		part = alloc.Interleaved
+	default:
+		return network.Config{}, fmt.Errorf("config: unknown partition %q", e.Partition)
+	}
+	allocKind := e.Allocator
+	if allocKind == "" {
+		allocKind = "if"
+	}
+	k := e.VirtualInputs
+	if k == 0 {
+		k = 1
+	}
+	return network.Config{
+		Topology: topo,
+		Router: router.Config{
+			Ports:          topo.Radix,
+			VCs:            e.VCs,
+			VirtualInputs:  k,
+			BufDepth:       e.BufDepth,
+			AllocKind:      alloc.Kind(allocKind),
+			Policy:         pol,
+			Partition:      part,
+			NonSpeculative: e.NonSpeculative,
+		},
+		Pattern:       pat,
+		InjectionRate: e.InjectionRate,
+		MaxInjection:  e.MaxInjection,
+		PacketSize:    e.PacketSize,
+		Seed:          e.Seed,
+		HopDelay:      e.HopDelay,
+		CreditDelay:   e.CreditDelay,
+	}, nil
+}
+
+// nodeGrid returns the squarest w x h factorisation of n for pattern
+// coordinates (64 -> 8x8).
+func nodeGrid(n int) (int, int) {
+	best := 1
+	for w := 1; w*w <= n; w++ {
+		if n%w == 0 {
+			best = w
+		}
+	}
+	return n / best, best
+}
+
+// PartitionName returns the partition's display name.
+func (e Experiment) PartitionName() string {
+	if e.Partition == "" {
+		return "contiguous"
+	}
+	return e.Partition
+}

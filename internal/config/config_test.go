@@ -1,0 +1,220 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vix/internal/network"
+)
+
+func TestDefaultBuilds(t *testing.T) {
+	cfg, err := Default().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := network.New(cfg); err != nil {
+		t.Fatalf("default experiment does not build a network: %v", err)
+	}
+	if cfg.Topology.Radix != 5 || cfg.Topology.NumNodes != 64 {
+		t.Fatalf("default topology wrong: %+v", cfg.Topology.Name)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	e := Default()
+	e.Topology = "fbfly"
+	e.VirtualInputs = 2
+	e.Allocator = "wavefront"
+	e.Partition = "interleaved"
+	e.Pattern = "transpose"
+	e.MaxInjection = true
+	e.Seed = 99
+
+	path := filepath.Join(t.TempDir(), "exp.json")
+	if err := e.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, e)
+	}
+	cfg, err := got.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology.Radix != 10 {
+		t.Fatalf("fbfly radix = %d", cfg.Topology.Radix)
+	}
+	if _, err := network.New(cfg); err != nil {
+		t.Fatalf("loaded experiment does not build: %v", err)
+	}
+}
+
+func TestLoadAppliesDefaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "partial.json")
+	if err := os.WriteFile(path, []byte(`{"virtual_inputs": 2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.VCs != 6 || e.BufDepth != 5 || e.VirtualInputs != 2 {
+		t.Fatalf("defaults not applied: %+v", e)
+	}
+	cfg, err := e.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k > 1 without explicit policy selects the balanced policy.
+	if cfg.Router.Policy != "balanced" {
+		t.Fatalf("implied policy = %q, want balanced", cfg.Router.Policy)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "typo.json")
+	if err := os.WriteFile(path, []byte(`{"virtual_inpts": 2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("typo field accepted")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/exp.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []func(*Experiment){
+		func(e *Experiment) { e.Topology = "ring" },
+		func(e *Experiment) { e.Partition = "diagonal" },
+		func(e *Experiment) { e.Pattern = "chaos" },
+	}
+	for i, mutate := range cases {
+		e := Default()
+		mutate(&e)
+		if _, err := e.Build(); err == nil {
+			t.Errorf("case %d: invalid experiment built", i)
+		}
+	}
+}
+
+func TestCustomDimensions(t *testing.T) {
+	e := Default()
+	e.Topology = "mesh"
+	e.Width, e.Height = 4, 4
+	cfg, err := e.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology.NumNodes != 16 {
+		t.Fatalf("4x4 mesh nodes = %d", cfg.Topology.NumNodes)
+	}
+	// Square default for height.
+	e = Default()
+	e.Width = 6
+	cfg, err = e.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology.NumNodes != 36 {
+		t.Fatalf("6-wide mesh nodes = %d, want 36", cfg.Topology.NumNodes)
+	}
+}
+
+func TestNodeGrid(t *testing.T) {
+	cases := [][3]int{{64, 8, 8}, {16, 4, 4}, {36, 6, 6}, {12, 4, 3}, {7, 7, 1}}
+	for _, c := range cases {
+		w, h := nodeGrid(c[0])
+		if w != c[1] || h != c[2] {
+			t.Errorf("nodeGrid(%d) = (%d,%d), want (%d,%d)", c[0], w, h, c[1], c[2])
+		}
+	}
+}
+
+func TestSaveRejectsBadPath(t *testing.T) {
+	if err := Default().Save("/nonexistent-dir/x/y.json"); err == nil {
+		t.Fatal("Save to bad path accepted")
+	}
+}
+
+func TestCMeshAndFBflyDefaults(t *testing.T) {
+	for _, name := range []string{"cmesh", "fbfly"} {
+		e := Default()
+		e.Topology = name
+		cfg, err := e.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Topology.NumNodes != 64 {
+			t.Fatalf("%s default nodes = %d", name, cfg.Topology.NumNodes)
+		}
+		// Square default when only width given.
+		e.Width = 2
+		e.Conc = 2
+		cfg, err = e.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Topology.NumNodes != 2*2*2 {
+			t.Fatalf("%s 2x2c2 nodes = %d", name, cfg.Topology.NumNodes)
+		}
+	}
+}
+
+func TestNonSpeculativeAndPartitionPlumbing(t *testing.T) {
+	e := Default()
+	e.NonSpeculative = true
+	e.Partition = "interleaved"
+	cfg, err := e.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Router.NonSpeculative {
+		t.Error("NonSpeculative not plumbed")
+	}
+	if cfg.Router.Partition != 1 {
+		t.Error("Partition not plumbed")
+	}
+	if e.PartitionName() != "interleaved" {
+		t.Error("PartitionName wrong")
+	}
+	if (Experiment{}).PartitionName() != "contiguous" {
+		t.Error("default PartitionName wrong")
+	}
+}
+
+// Every shipped configs/*.json file must load and build, so the example
+// configurations cannot rot.
+func TestShippedConfigsBuild(t *testing.T) {
+	matches, err := filepath.Glob("../../configs/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) < 5 {
+		t.Fatalf("expected shipped config files, found %d", len(matches))
+	}
+	for _, path := range matches {
+		e, err := Load(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		cfg, err := e.Build()
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if _, err := network.New(cfg); err != nil {
+			t.Errorf("%s: network rejects config: %v", path, err)
+		}
+	}
+}

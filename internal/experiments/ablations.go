@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vix/internal/alloc"
+	"vix/internal/network"
+	"vix/internal/router"
+	"vix/internal/stats"
+	"vix/internal/topology"
+	"vix/internal/traffic"
+)
+
+// The ablation studies isolate the design choices DESIGN.md calls out:
+// the Section 2.3 VC-assignment policy, the VC-to-sub-group partition,
+// the pipeline depth, the number of virtual inputs, and the choice of
+// allocation scheme (including iSLIP and SPAROFLO from the paper's
+// citations and related work).
+
+// PolicyAblationRow is the saturation throughput of one (pattern,
+// policy) pair on the VIX mesh.
+type PolicyAblationRow struct {
+	Pattern    string
+	Policy     router.PolicyKind
+	Throughput float64
+}
+
+// AblatePolicies measures the Section 2.3 VC-assignment policies on a
+// saturated 8x8 VIX mesh across traffic patterns, including the
+// adversarial ones the paper's Section 2.3 targets.
+func AblatePolicies(p Params, patterns []string) ([]PolicyAblationRow, error) {
+	if patterns == nil {
+		patterns = []string{"uniform", "transpose", "tornado", "bitcomp"}
+	}
+	topo := topology.NewMesh(8, 8)
+	var rows []PolicyAblationRow
+	for _, name := range patterns {
+		pat, err := traffic.New(name, 8, 8)
+		if err != nil {
+			return nil, err
+		}
+		for _, pol := range []router.PolicyKind{router.PolicyMaxFree, router.PolicyDimension, router.PolicyBalanced} {
+			cfg := buildConfig(topo, Scheme{Label: "VIX", Kind: alloc.KindSeparableIF, K: 2, Policy: pol}, p, 0, true)
+			cfg.Pattern = pat
+			snap, err := measure(cfg, p)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, PolicyAblationRow{Pattern: name, Policy: pol, Throughput: snap.ThroughputFlits})
+		}
+	}
+	return rows, nil
+}
+
+// PartitionAblationRow compares VC partitions for one topology.
+type PartitionAblationRow struct {
+	Topology   string
+	Partition  alloc.Partition
+	Throughput float64
+}
+
+// AblatePartition compares the paper's contiguous VC sub-grouping with
+// an interleaved assignment on saturated VIX networks.
+func AblatePartition(p Params) ([]PartitionAblationRow, error) {
+	var rows []PartitionAblationRow
+	for _, topo := range Topologies() {
+		for _, part := range []alloc.Partition{alloc.Contiguous, alloc.Interleaved} {
+			cfg := buildConfig(topo, Scheme{Label: "VIX", Kind: alloc.KindSeparableIF, K: 2, Policy: router.PolicyBalanced}, p, 0, true)
+			cfg.Router.Partition = part
+			snap, err := measure(cfg, p)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, PartitionAblationRow{Topology: topo.Name, Partition: part, Throughput: snap.ThroughputFlits})
+		}
+	}
+	return rows, nil
+}
+
+// PipelineAblationRow compares router pipeline depths.
+type PipelineAblationRow struct {
+	Scheme     string
+	HopDelay   int
+	AvgLatency float64 // at the probe rate
+	Throughput float64 // at saturation
+}
+
+// AblatePipeline compares the paper's optimised 3-stage pipeline (Figure
+// 6b) against the conventional 5-stage pipeline (Figure 6a) for baseline
+// and VIX: latency at a moderate load and saturation throughput.
+func AblatePipeline(p Params, probeRate float64) ([]PipelineAblationRow, error) {
+	topo := topology.NewMesh(8, 8)
+	schemes := []Scheme{NetworkSchemes()[0], NetworkSchemes()[3]}
+	var rows []PipelineAblationRow
+	for _, s := range schemes {
+		for _, hop := range []int{3, 5} {
+			cfg := buildConfig(topo, s, p, probeRate, false)
+			cfg.HopDelay = hop
+			lat, err := measure(cfg, p)
+			if err != nil {
+				return nil, err
+			}
+			cfg = buildConfig(topo, s, p, 0, true)
+			cfg.HopDelay = hop
+			sat, err := measure(cfg, p)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, PipelineAblationRow{
+				Scheme: s.Label, HopDelay: hop,
+				AvgLatency: lat.AvgLatency, Throughput: sat.ThroughputFlits,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// SpeculationAblationRow compares speculative and non-speculative switch
+// allocation.
+type SpeculationAblationRow struct {
+	Scheme         string
+	NonSpeculative bool
+	AvgLatency     float64 // at the probe rate
+	Throughput     float64 // at saturation
+}
+
+// AblateSpeculation compares the Figure 6b speculative pipeline (heads
+// bid for the switch in the same cycle they win a VC) against a
+// non-speculative variant that serialises VA before SA, for baseline and
+// VIX on the mesh.
+func AblateSpeculation(p Params, probeRate float64) ([]SpeculationAblationRow, error) {
+	topo := topology.NewMesh(8, 8)
+	schemes := []Scheme{NetworkSchemes()[0], NetworkSchemes()[3]}
+	var rows []SpeculationAblationRow
+	for _, s := range schemes {
+		for _, nonSpec := range []bool{false, true} {
+			cfg := buildConfig(topo, s, p, probeRate, false)
+			cfg.Router.NonSpeculative = nonSpec
+			lat, err := measure(cfg, p)
+			if err != nil {
+				return nil, err
+			}
+			cfg = buildConfig(topo, s, p, 0, true)
+			cfg.Router.NonSpeculative = nonSpec
+			sat, err := measure(cfg, p)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SpeculationAblationRow{
+				Scheme: s.Label, NonSpeculative: nonSpec,
+				AvgLatency: lat.AvgLatency, Throughput: sat.ThroughputFlits,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// KSweepRow is the saturation throughput at one virtual-input count.
+type KSweepRow struct {
+	K          int
+	Throughput float64
+}
+
+// AblateVirtualInputs sweeps the virtual-input factor k from 1 to VCs on
+// the mesh — a finer-grained version of Figure 12 that locates where the
+// returns diminish.
+func AblateVirtualInputs(p Params) ([]KSweepRow, error) {
+	topo := topology.NewMesh(8, 8)
+	var rows []KSweepRow
+	for k := 1; k <= p.VCs; k++ {
+		if p.VCs%k != 0 && k != p.VCs {
+			continue // only even partitions keep sub-groups comparable
+		}
+		s := Scheme{Label: fmt.Sprintf("k=%d", k), Kind: alloc.KindSeparableIF, K: k, Policy: router12Policy(k)}
+		snap, err := SaturationThroughput(topo, s, p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, KSweepRow{K: k, Throughput: snap.ThroughputFlits})
+	}
+	return rows, nil
+}
+
+// AllocAblationRow is the saturation throughput of one allocation scheme
+// from the extended set.
+type AllocAblationRow struct {
+	Scheme     string
+	Throughput float64
+}
+
+// AblateAllocators races the full allocator set — including iSLIP (the
+// iterative allocator the paper cites) and SPAROFLO (related work) — on
+// a saturated mesh.
+func AblateAllocators(p Params) ([]AllocAblationRow, error) {
+	topo := topology.NewMesh(8, 8)
+	schemes := []Scheme{
+		{Label: "IF", Kind: alloc.KindSeparableIF, K: 1, Policy: router.PolicyMaxFree},
+		{Label: "iSLIP-2", Kind: alloc.KindISLIP, K: 1, Policy: router.PolicyMaxFree},
+		{Label: "SPAROFLO", Kind: alloc.KindSparoflo, K: 1, Policy: router.PolicyMaxFree},
+		{Label: "WF", Kind: alloc.KindWavefront, K: 1, Policy: router.PolicyMaxFree},
+		{Label: "AP", Kind: alloc.KindAugmentingPath, K: 1, Policy: router.PolicyMaxFree},
+		{Label: "VIX", Kind: alloc.KindSeparableIF, K: 2, Policy: router.PolicyBalanced},
+		{Label: "VIX-WF", Kind: alloc.KindWavefront, K: 2, Policy: router.PolicyBalanced},
+		{Label: "VIX-age", Kind: alloc.KindSeparableAge, K: 2, Policy: router.PolicyBalanced},
+	}
+	var rows []AllocAblationRow
+	for _, s := range schemes {
+		snap, err := SaturationThroughput(topo, s, p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AllocAblationRow{Scheme: s.Label, Throughput: snap.ThroughputFlits})
+	}
+	return rows, nil
+}
+
+// measure builds and runs one configured network.
+func measure(cfg network.Config, p Params) (stats.Snapshot, error) {
+	n, err := network.New(cfg)
+	if err != nil {
+		return stats.Snapshot{}, err
+	}
+	n.Warmup(p.Warmup)
+	return n.Measure(p.Measure), nil
+}

@@ -1,0 +1,498 @@
+// Package network assembles routers, links, and network interfaces into a
+// cycle-accurate network-on-chip simulation matching the paper's
+// methodology: three-stage routers with lookahead routing, wormhole
+// switching, virtual-channel flow control, credit-based backpressure,
+// finite input buffering, and statistical traffic injection.
+package network
+
+import (
+	"errors"
+	"fmt"
+
+	"vix/internal/alloc"
+	"vix/internal/router"
+	"vix/internal/routing"
+	"vix/internal/sim"
+	"vix/internal/stats"
+	"vix/internal/topology"
+	"vix/internal/traffic"
+)
+
+// PacketSpec describes one packet a workload wants to send.
+type PacketSpec struct {
+	Dst  int
+	Size int
+	// Tag is an opaque workload identifier carried to Delivered.
+	Tag uint64
+}
+
+// Delivery describes a completed packet for workload callbacks.
+type Delivery struct {
+	Src, Dst    int
+	Tag         uint64
+	CreateCycle int64
+	EjectCycle  int64
+	Hops        int
+}
+
+// Workload drives packet generation. The statistical workload of the
+// paper's Section 4 is the default; the trace-driven manycore of Section
+// 4.7 plugs in its own implementation.
+type Workload interface {
+	// Generate is invoked once per node per cycle and returns the
+	// packets to enqueue at that node's source queue.
+	Generate(node int, cycle int64, rng *sim.RNG) []PacketSpec
+	// Delivered is invoked when a packet's tail flit ejects.
+	Delivered(d Delivery)
+}
+
+// Ticker is an optional Workload extension: Tick runs once per cycle,
+// after link deliveries (and hence all Delivered callbacks for the cycle)
+// and before any Generate call, letting stateful workloads such as the
+// manycore model advance cores and caches with a consistent view.
+type Ticker interface {
+	Tick(cycle int64)
+}
+
+// Config describes one network simulation.
+type Config struct {
+	Topology *topology.Topology
+	Router   router.Config
+	Pattern  traffic.Pattern
+
+	// Workload overrides the statistical traffic process built from
+	// Pattern/InjectionRate/MaxInjection when non-nil.
+	Workload Workload
+
+	// InjectionRate is the offered load in packets/cycle/node. When
+	// MaxInjection is set the rate is ignored and every source keeps a
+	// packet backlog, measuring saturation throughput.
+	InjectionRate float64
+	MaxInjection  bool
+
+	// PacketSize is the flits per packet (the paper uses 4: 512-bit
+	// packets over a 128-bit datapath; the packet-chaining study uses 1).
+	PacketSize int
+
+	Seed uint64
+
+	// OnEject, when non-nil, observes every flit as it leaves the
+	// network (after statistics are updated). Tests use it to check
+	// ordering invariants.
+	OnEject func(f *router.Flit)
+
+	// HopDelay is the cycles from a switch-allocation win at one router
+	// to eligibility at the next (SA + switch traversal + link
+	// traversal = 3 for the paper's three-stage pipeline). CreditDelay
+	// is the credit return latency. Zero values select the defaults.
+	HopDelay    int
+	CreditDelay int
+
+	// DeadlockCycles is the forward-progress watchdog: if flits are in
+	// flight but none ejects for this many consecutive cycles, Step
+	// panics with a diagnostic (a correct DOR configuration can never
+	// trip it). Zero selects the default; negative disables the check.
+	DeadlockCycles int
+}
+
+// Defaults for the three-stage pipeline of Figure 6(b).
+const (
+	DefaultHopDelay    = 3
+	DefaultCreditDelay = 2
+	DefaultPacketSize  = 4
+	// DefaultDeadlockCycles bounds how long the network may hold flits
+	// without ejecting any before the watchdog trips. Saturated meshes
+	// eject every few cycles, so this is far outside normal behaviour.
+	DefaultDeadlockCycles = 20000
+)
+
+func (c *Config) setDefaults() {
+	if c.HopDelay == 0 {
+		c.HopDelay = DefaultHopDelay
+	}
+	if c.CreditDelay == 0 {
+		c.CreditDelay = DefaultCreditDelay
+	}
+	if c.PacketSize == 0 {
+		c.PacketSize = DefaultPacketSize
+	}
+	if c.DeadlockCycles == 0 {
+		c.DeadlockCycles = DefaultDeadlockCycles
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Topology == nil {
+		return errors.New("network: Topology is required")
+	}
+	if c.Router.Ports != c.Topology.Radix {
+		return fmt.Errorf("network: router has %d ports but topology radix is %d", c.Router.Ports, c.Topology.Radix)
+	}
+	if c.PacketSize < 0 {
+		return fmt.Errorf("network: negative packet size %d", c.PacketSize)
+	}
+	if c.Workload == nil {
+		if c.Pattern == nil {
+			return errors.New("network: Pattern is required without a Workload")
+		}
+		if c.InjectionRate < 0 {
+			return fmt.Errorf("network: negative injection rate %v", c.InjectionRate)
+		}
+		if !c.MaxInjection && c.InjectionRate == 0 {
+			return errors.New("network: zero injection rate without MaxInjection")
+		}
+	}
+	return c.Router.Validate()
+}
+
+// flitDelivery and creditDelivery are in-flight events on links.
+type flitDelivery struct {
+	router, port int
+	vc           int
+	flit         *router.Flit
+}
+
+type creditDelivery struct {
+	router, outPort, vc int
+}
+
+// ni is the network interface of one terminal node: an unbounded source
+// queue feeding the node's local input port at one flit per cycle.
+type ni struct {
+	node    int
+	rng     *sim.RNG
+	queue   []*router.Flit
+	curVC   int
+	backlog int // packets currently in queue
+}
+
+// Network is a running simulation instance.
+type Network struct {
+	cfg   Config
+	topo  *topology.Topology
+	route routing.Func
+
+	routers []*router.Router
+	nis     []*ni
+
+	cycle        int64
+	nextPacketID uint64
+
+	qlen   int
+	flitQ  [][]flitDelivery
+	credQ  [][]creditDelivery
+	ejectQ [][]*router.Flit
+
+	col *stats.Collector
+
+	inFlight int64 // flits inside routers or on links (not source queues)
+
+	lastEjectCycle int64 // watchdog: last cycle any flit ejected
+}
+
+// New builds a network simulation from cfg.
+func New(cfg Config) (*Network, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo := cfg.Topology
+	n := &Network{
+		cfg:   cfg,
+		topo:  topo,
+		route: routing.DOR(topo),
+		col:   stats.NewCollector(topo.NumNodes),
+	}
+	n.qlen = cfg.HopDelay
+	if cfg.CreditDelay > n.qlen {
+		n.qlen = cfg.CreditDelay
+	}
+	n.qlen++
+	n.flitQ = make([][]flitDelivery, n.qlen)
+	n.credQ = make([][]creditDelivery, n.qlen)
+	n.ejectQ = make([][]*router.Flit, n.qlen)
+
+	root := sim.NewRNG(cfg.Seed)
+	n.routers = make([]*router.Router, topo.NumRouters)
+	for r := 0; r < topo.NumRouters; r++ {
+		ports := make([]router.PortInfo, topo.Radix)
+		for p, c := range topo.Conn[r] {
+			ports[p] = router.PortInfo{Kind: c.Kind, Dim: c.Dim}
+		}
+		a, err := alloc.New(cfg.Router.AllocKind, cfg.Router.Alloc())
+		if err != nil {
+			return nil, err
+		}
+		n.routers[r] = router.New(r, cfg.Router, ports, a, n.nextDimFunc(r))
+	}
+	n.nis = make([]*ni, topo.NumNodes)
+	for node := 0; node < topo.NumNodes; node++ {
+		n.nis[node] = &ni{node: node, rng: root.Fork(uint64(node)), curVC: -1}
+	}
+	return n, nil
+}
+
+// nextDimFunc returns the lookahead dimension classifier for router r:
+// the dimension class of the port the packet will request at the router
+// reached through outPort.
+func (n *Network) nextDimFunc(r int) router.NextDimFunc {
+	return func(outPort, dst int) topology.Dim {
+		c := n.topo.Conn[r][outPort]
+		if c.Kind != topology.Link {
+			return topology.DimLocal
+		}
+		peer := c.PeerRouter
+		p := n.route(n.topo, peer, dst)
+		return n.topo.Conn[peer][p].Dim
+	}
+}
+
+// Cycle returns the current simulation cycle.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// Collector returns the live statistics collector.
+func (n *Network) Collector() *stats.Collector { return n.col }
+
+// InFlight returns the number of flits inside the network (router buffers
+// and links), excluding source queues.
+func (n *Network) InFlight() int64 { return n.inFlight }
+
+// QueuedAtSources returns the flits waiting in NI source queues.
+func (n *Network) QueuedAtSources() int64 {
+	var q int64
+	for _, nif := range n.nis {
+		q += int64(len(nif.queue))
+	}
+	return q
+}
+
+// Step advances the simulation one cycle.
+func (n *Network) Step() {
+	slot := int(n.cycle % int64(n.qlen))
+
+	// Deliver link events scheduled for this cycle.
+	for _, d := range n.flitQ[slot] {
+		n.routers[d.router].DeliverFlit(d.port, d.vc, d.flit)
+		n.col.BufferWrite()
+	}
+	n.flitQ[slot] = n.flitQ[slot][:0]
+	for _, d := range n.credQ[slot] {
+		n.routers[d.router].DeliverCredit(d.outPort, d.vc)
+	}
+	n.credQ[slot] = n.credQ[slot][:0]
+	for _, f := range n.ejectQ[slot] {
+		n.eject(f)
+	}
+	n.ejectQ[slot] = n.ejectQ[slot][:0]
+
+	// Workload state machines advance once all deliveries are visible.
+	if t, ok := n.cfg.Workload.(Ticker); ok {
+		t.Tick(n.cycle)
+	}
+
+	// Traffic generation and injection.
+	for _, nif := range n.nis {
+		n.generate(nif)
+		n.inject(nif)
+	}
+
+	// Router pipelines.
+	for r, rt := range n.routers {
+		ems, credits := rt.Tick()
+		for _, e := range ems {
+			n.forward(r, e)
+		}
+		for _, cm := range credits {
+			conn := n.topo.Conn[r][cm.Port]
+			upSlot := int((n.cycle + int64(n.cfg.CreditDelay)) % int64(n.qlen))
+			n.credQ[upSlot] = append(n.credQ[upSlot], creditDelivery{
+				router: conn.PeerRouter, outPort: conn.PeerPort, vc: cm.VC,
+			})
+		}
+	}
+
+	n.col.Tick()
+	if n.cfg.DeadlockCycles > 0 && n.inFlight > 0 &&
+		n.cycle-n.lastEjectCycle > int64(n.cfg.DeadlockCycles) {
+		panic(fmt.Sprintf(
+			"network: no flit ejected for %d cycles with %d flits in flight at cycle %d — deadlock or livelock",
+			n.cfg.DeadlockCycles, n.inFlight, n.cycle))
+	}
+	n.cycle++
+}
+
+// forward routes an emission from router r onto its link or to ejection.
+func (n *Network) forward(r int, e router.Emission) {
+	n.col.BufferRead()
+	n.col.XbarTraversal()
+	conn := n.topo.Conn[r][e.OutPort]
+	arrive := int((n.cycle + int64(n.cfg.HopDelay)) % int64(n.qlen))
+	switch conn.Kind {
+	case topology.Link:
+		n.col.LinkTraversal()
+		f := e.Flit
+		f.Route = n.route(n.topo, conn.PeerRouter, f.Dst)
+		n.flitQ[arrive] = append(n.flitQ[arrive], flitDelivery{
+			router: conn.PeerRouter, port: conn.PeerPort, vc: f.VC, flit: f,
+		})
+	case topology.Local:
+		n.ejectQ[arrive] = append(n.ejectQ[arrive], e.Flit)
+	default:
+		panic(fmt.Sprintf("network: emission through unused port %d of router %d", e.OutPort, r))
+	}
+}
+
+// eject retires a flit at its destination and updates statistics.
+func (n *Network) eject(f *router.Flit) {
+	f.EjectCycle = n.cycle
+	n.inFlight--
+	n.lastEjectCycle = n.cycle
+	n.col.FlitEjected(f.Src)
+	if f.Type.IsTail() {
+		n.col.PacketEjected(n.cycle-f.CreateCycle, f.Hops)
+		if n.cfg.Workload != nil {
+			n.cfg.Workload.Delivered(Delivery{
+				Src: f.Src, Dst: f.Dst, Tag: f.Tag,
+				CreateCycle: f.CreateCycle, EjectCycle: n.cycle, Hops: f.Hops,
+			})
+		}
+	}
+	if n.cfg.OnEject != nil {
+		n.cfg.OnEject(f)
+	}
+}
+
+// Routers exposes the router instances; tests use it to check credit and
+// buffer invariants.
+func (n *Network) Routers() []*router.Router { return n.routers }
+
+// generate enqueues new packets at nif according to the workload or the
+// statistical traffic process.
+func (n *Network) generate(nif *ni) {
+	if n.cfg.Workload != nil {
+		for _, spec := range n.cfg.Workload.Generate(nif.node, n.cycle, nif.rng) {
+			n.enqueuePacket(nif, spec)
+		}
+		return
+	}
+	if n.cfg.MaxInjection {
+		for nif.backlog < 2 {
+			n.enqueuePacket(nif, PacketSpec{
+				Dst:  n.cfg.Pattern.Dest(nif.node, nif.rng),
+				Size: n.cfg.PacketSize,
+			})
+		}
+		return
+	}
+	if nif.rng.Bernoulli(n.cfg.InjectionRate) {
+		n.enqueuePacket(nif, PacketSpec{
+			Dst:  n.cfg.Pattern.Dest(nif.node, nif.rng),
+			Size: n.cfg.PacketSize,
+		})
+	}
+}
+
+func (n *Network) enqueuePacket(nif *ni, spec PacketSpec) {
+	id := n.nextPacketID
+	n.nextPacketID++
+	size := spec.Size
+	if size <= 0 {
+		size = n.cfg.PacketSize
+	}
+	flits := router.NewPacket(id, nif.node, spec.Dst, size, n.cycle)
+	for _, f := range flits {
+		f.Tag = spec.Tag
+	}
+	nif.queue = append(nif.queue, flits...)
+	nif.backlog++
+}
+
+// inject moves at most one flit from nif's source queue into the local
+// input port of its router, choosing an injection VC for head flits with
+// the same sub-group policy the routers use.
+func (n *Network) inject(nif *ni) {
+	if len(nif.queue) == 0 {
+		return
+	}
+	f := nif.queue[0]
+	r := n.topo.NodeRouter[nif.node]
+	port := n.topo.NodePort[nif.node]
+	rt := n.routers[r]
+
+	if f.Type.IsHead() {
+		if nif.curVC >= 0 {
+			panic("network: head flit while previous packet still streaming")
+		}
+		f.Route = n.route(n.topo, r, f.Dst)
+		vc := n.chooseInjectionVC(rt, r, port, f)
+		if vc < 0 {
+			return // no space at the local port this cycle
+		}
+		nif.curVC = vc
+	}
+	if rt.BufferSpace(port, nif.curVC) == 0 {
+		return
+	}
+	f.Route = n.route(n.topo, r, f.Dst)
+	rt.DeliverFlit(port, nif.curVC, f)
+	n.col.BufferWrite()
+	n.inFlight++
+	nif.queue = nif.queue[1:]
+	if f.Type.IsHead() {
+		f.InjectCycle = n.cycle
+		n.col.PacketInjected(f.PacketSize)
+	}
+	if f.Type.IsTail() {
+		nif.curVC = -1
+		nif.backlog--
+	}
+}
+
+// chooseInjectionVC picks the local-port VC a new packet starts in:
+// prefer the sub-group matching the packet's first route dimension (so
+// VIX virtual inputs at the injection router see diverse requests), then
+// the VC with the most space. Returns -1 if nothing has space.
+func (n *Network) chooseInjectionVC(rt *router.Router, r, port int, f *router.Flit) int {
+	acfg := n.cfg.Router.Alloc()
+	dim := n.topo.Conn[r][f.Route].Dim
+	prefGroup := 0
+	if acfg.VirtualInputs > 1 && dim != topology.DimX {
+		prefGroup = acfg.VirtualInputs - 1
+	}
+	best, bestSpace := -1, 0
+	bestPref := false
+	for vc := 0; vc < n.cfg.Router.VCs; vc++ {
+		// Any VC with space is eligible: the NI streams packets strictly
+		// sequentially, so a new packet queued behind the previous tail
+		// in the same VC preserves wormhole FIFO order.
+		space := rt.BufferSpace(port, vc)
+		if space == 0 {
+			continue
+		}
+		pref := acfg.Subgroup(vc) == prefGroup
+		if best < 0 || (pref && !bestPref) || (pref == bestPref && space > bestSpace) {
+			best, bestSpace, bestPref = vc, space, pref
+		}
+	}
+	return best
+}
+
+// Run advances the simulation the given number of cycles.
+func (n *Network) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// Warmup runs the given cycles and then clears statistics.
+func (n *Network) Warmup(cycles int) {
+	n.Run(cycles)
+	n.col.Reset()
+}
+
+// Measure runs the given cycles and returns the window's snapshot.
+func (n *Network) Measure(cycles int) stats.Snapshot {
+	n.Run(cycles)
+	return n.col.Snapshot()
+}

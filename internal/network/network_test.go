@@ -1,0 +1,588 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"vix/internal/alloc"
+	"vix/internal/router"
+	"vix/internal/routing"
+	"vix/internal/sim"
+	"vix/internal/topology"
+	"vix/internal/traffic"
+)
+
+func meshConfig(topo *topology.Topology, kind alloc.Kind, k int, policy router.PolicyKind) Config {
+	return Config{
+		Topology: topo,
+		Router: router.Config{
+			Ports: topo.Radix, VCs: 6, VirtualInputs: k, BufDepth: 5,
+			AllocKind: kind, Policy: policy,
+		},
+		Pattern:       traffic.NewUniform(topo.NumNodes),
+		InjectionRate: 0.05,
+		PacketSize:    4,
+		Seed:          42,
+	}
+}
+
+// burstWorkload injects Bernoulli traffic until a cutoff cycle, then goes
+// silent, letting tests drain the network completely.
+type burstWorkload struct {
+	until     int64
+	rate      float64
+	pattern   traffic.Pattern
+	size      int
+	generated int
+	delivered int
+}
+
+func (w *burstWorkload) Generate(node int, cycle int64, rng *sim.RNG) []PacketSpec {
+	if cycle >= w.until || !rng.Bernoulli(w.rate) {
+		return nil
+	}
+	w.generated++
+	return []PacketSpec{{Dst: w.pattern.Dest(node, rng), Size: w.size}}
+}
+
+func (w *burstWorkload) Delivered(d Delivery) { w.delivered++ }
+
+// Every injected packet must be delivered, the network must drain to
+// empty, and all credits must return to their initial values — on all
+// three paper topologies.
+func TestConservationAndDrain(t *testing.T) {
+	topos := []*topology.Topology{
+		topology.NewMesh(4, 4),
+		topology.NewCMesh(2, 2, 4),
+		topology.NewFBfly(2, 2, 4),
+	}
+	for _, topo := range topos {
+		for _, k := range []int{1, 2} {
+			w := &burstWorkload{until: 500, rate: 0.08, pattern: traffic.NewUniform(topo.NumNodes), size: 4}
+			cfg := meshConfig(topo, alloc.KindSeparableIF, k, router.PolicyBalanced)
+			cfg.Workload = w
+			n, err := New(cfg)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", topo.Name, k, err)
+			}
+			n.Run(500)
+			for i := 0; i < 20000 && (n.InFlight() > 0 || n.QueuedAtSources() > 0); i++ {
+				n.Step()
+			}
+			if n.InFlight() != 0 || n.QueuedAtSources() != 0 {
+				t.Fatalf("%s k=%d: network did not drain: inflight=%d queued=%d",
+					topo.Name, k, n.InFlight(), n.QueuedAtSources())
+			}
+			if w.delivered != w.generated {
+				t.Fatalf("%s k=%d: generated %d packets, delivered %d",
+					topo.Name, k, w.generated, w.delivered)
+			}
+			// All credits restored and all buffers empty.
+			for _, rt := range n.Routers() {
+				if rt.Occupancy() != 0 {
+					t.Fatalf("%s k=%d: router %d still holds flits", topo.Name, k, rt.ID())
+				}
+				for p := 0; p < topo.Radix; p++ {
+					if topo.Conn[rt.ID()][p].Kind != topology.Link {
+						continue
+					}
+					for v := 0; v < 6; v++ {
+						if got := rt.Credits(p, v); got != 5 {
+							t.Fatalf("%s k=%d: router %d port %d vc %d credits %d, want 5",
+								topo.Name, k, rt.ID(), p, v, got)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// singlePacket injects exactly one packet at a chosen cycle.
+type singlePacket struct {
+	src, dst, size int
+	at             int64
+	done           bool
+	delivery       *Delivery
+}
+
+func (w *singlePacket) Generate(node int, cycle int64, rng *sim.RNG) []PacketSpec {
+	if w.done || node != w.src || cycle < w.at {
+		return nil
+	}
+	w.done = true
+	return []PacketSpec{{Dst: w.dst, Size: w.size}}
+}
+
+func (w *singlePacket) Delivered(d Delivery) { w.delivery = &d }
+
+// Zero-load latency must match the pipeline model exactly:
+// HopDelay*(hops+1) + (size-1) cycles from generation to tail ejection.
+func TestZeroLoadLatencyFormula(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	route := routing.DOR(topo)
+	cases := []struct{ src, dst, size int }{
+		{0, 63, 4},  // corner to corner: 14 hops
+		{0, 1, 1},   // neighbour single flit
+		{9, 36, 4},  // mid-distance
+		{5, 40, 16}, // long packet
+	}
+	for _, c := range cases {
+		w := &singlePacket{src: c.src, dst: c.dst, size: c.size, at: 10}
+		cfg := meshConfig(topo, alloc.KindSeparableIF, 1, router.PolicyMaxFree)
+		cfg.Workload = w
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run(300 + 3*c.size)
+		if w.delivery == nil {
+			t.Fatalf("%d->%d packet not delivered", c.src, c.dst)
+		}
+		hops := routing.Hops(topo, route, c.src, c.dst)
+		want := int64(DefaultHopDelay*(hops+1) + c.size - 1)
+		got := w.delivery.EjectCycle - w.delivery.CreateCycle
+		if got != want {
+			t.Errorf("%d->%d size %d: latency %d, want %d", c.src, c.dst, c.size, got, want)
+		}
+		if w.delivery.Hops != hops {
+			t.Errorf("%d->%d: recorded hops %d, want %d", c.src, c.dst, w.delivery.Hops, hops)
+		}
+	}
+}
+
+// Flits of each packet must eject in sequence order (wormhole integrity),
+// even under heavy congested traffic with VIX enabled.
+func TestFlitOrderingUnderLoad(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	cfg := meshConfig(topo, alloc.KindSeparableIF, 2, router.PolicyBalanced)
+	cfg.MaxInjection = true
+	cfg.InjectionRate = 0
+	lastSeq := map[uint64]int{}
+	cfg.OnEject = func(f *router.Flit) {
+		if prev, ok := lastSeq[f.PacketID]; ok && f.Seq != prev+1 {
+			t.Fatalf("packet %d flit %d ejected after %d", f.PacketID, f.Seq, prev)
+		}
+		lastSeq[f.PacketID] = f.Seq
+		if f.Type.IsTail() {
+			if f.Seq != f.PacketSize-1 {
+				t.Fatalf("packet %d tail has seq %d of %d", f.PacketID, f.Seq, f.PacketSize)
+			}
+			delete(lastSeq, f.PacketID)
+		}
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(3000)
+	s := n.Collector().Snapshot()
+	if s.FlitsEjected == 0 {
+		t.Fatal("no traffic flowed")
+	}
+}
+
+// Same seed, same configuration: identical results.
+func TestNetworkDeterminism(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	run := func() (int64, float64) {
+		n, err := New(meshConfig(topo, alloc.KindSeparableIF, 2, router.PolicyBalanced))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Warmup(500)
+		s := n.Measure(1000)
+		return s.FlitsEjected, s.AvgLatency
+	}
+	f1, l1 := run()
+	f2, l2 := run()
+	if f1 != f2 || l1 != l2 {
+		t.Fatalf("same seed diverged: (%d, %v) vs (%d, %v)", f1, l1, f2, l2)
+	}
+}
+
+// Different seeds should give (slightly) different results — the RNG is
+// actually being used.
+func TestSeedMatters(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	cfg := meshConfig(topo, alloc.KindSeparableIF, 1, router.PolicyMaxFree)
+	n1, _ := New(cfg)
+	cfg.Seed = 43
+	n2, _ := New(cfg)
+	n1.Warmup(200)
+	n2.Warmup(200)
+	s1 := n1.Measure(800)
+	s2 := n2.Measure(800)
+	if s1.AvgLatency == s2.AvgLatency && s1.FlitsEjected == s2.FlitsEjected {
+		t.Fatal("different seeds produced identical statistics")
+	}
+}
+
+// The headline network-level claim on a small mesh: VIX saturation
+// throughput exceeds baseline IF by a clear margin.
+func TestVIXThroughputGainAtSaturation(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	run := func(k int, policy router.PolicyKind) float64 {
+		cfg := meshConfig(topo, alloc.KindSeparableIF, k, policy)
+		cfg.MaxInjection = true
+		cfg.InjectionRate = 0
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Warmup(1000)
+		return n.Measure(3000).ThroughputFlits
+	}
+	base := run(1, router.PolicyMaxFree)
+	vix := run(2, router.PolicyBalanced)
+	if vix < 1.08*base {
+		t.Fatalf("VIX throughput %.4f not at least 8%% over baseline %.4f", vix, base)
+	}
+}
+
+// At low load all allocation schemes perform nearly identically (the
+// paper's observation about Figure 8).
+func TestLowLoadLatencyInsensitiveToAllocator(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	var lats []float64
+	for _, kind := range []alloc.Kind{alloc.KindSeparableIF, alloc.KindWavefront, alloc.KindAugmentingPath} {
+		cfg := meshConfig(topo, kind, 1, router.PolicyMaxFree)
+		cfg.InjectionRate = 0.02
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Warmup(500)
+		lats = append(lats, n.Measure(2000).AvgLatency)
+	}
+	for _, l := range lats[1:] {
+		if math.Abs(l-lats[0])/lats[0] > 0.05 {
+			t.Fatalf("low-load latencies diverge: %v", lats)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	good := meshConfig(topo, alloc.KindSeparableIF, 1, router.PolicyMaxFree)
+	if _, err := New(good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []func(c *Config){
+		func(c *Config) { c.Topology = nil },
+		func(c *Config) { c.Pattern = nil },
+		func(c *Config) { c.Router.Ports = 3 },
+		func(c *Config) { c.InjectionRate = -1 },
+		func(c *Config) { c.InjectionRate = 0 },
+		func(c *Config) { c.Router.BufDepth = 0 },
+		func(c *Config) { c.Router.AllocKind = "bogus" },
+		func(c *Config) { c.PacketSize = -2 },
+	}
+	for i, mutate := range cases {
+		cfg := meshConfig(topo, alloc.KindSeparableIF, 1, router.PolicyMaxFree)
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// Defaults are applied: zero HopDelay/CreditDelay/PacketSize pick the
+// paper's three-stage pipeline values.
+func TestDefaults(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	cfg := meshConfig(topo, alloc.KindSeparableIF, 1, router.PolicyMaxFree)
+	cfg.PacketSize = 0
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(200)
+	if n.Cycle() != 200 {
+		t.Fatalf("cycle = %d", n.Cycle())
+	}
+}
+
+// Wavefront and AP also run end-to-end on the full stack and deliver
+// comparable traffic (sanity integration of every allocator kind).
+func TestAllAllocatorsEndToEnd(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	for _, kind := range []alloc.Kind{alloc.KindSeparableIF, alloc.KindWavefront, alloc.KindAugmentingPath, alloc.KindPacketChaining} {
+		cfg := meshConfig(topo, kind, 1, router.PolicyMaxFree)
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		n.Warmup(300)
+		s := n.Measure(700)
+		// Offered load 0.05*4 = 0.2 flits/node/cycle, well below
+		// saturation: all schemes must accept nearly all of it.
+		if s.ThroughputFlits < 0.17 {
+			t.Errorf("%s: accepted %.4f flits/node/cycle at offered 0.2", kind, s.ThroughputFlits)
+		}
+	}
+	// Ideal allocator needs per-VC geometry.
+	cfg := meshConfig(topo, alloc.KindIdeal, 6, router.PolicyMaxFree)
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Warmup(300)
+	if s := n.Measure(700); s.ThroughputFlits < 0.17 {
+		t.Errorf("ideal: accepted %.4f flits/node/cycle at offered 0.2", s.ThroughputFlits)
+	}
+}
+
+// The forward-progress watchdog trips when flits sit in flight with no
+// ejection. An artificially tiny threshold makes ordinary pipeline
+// latency look like a stall, which exercises the mechanism without
+// needing a genuinely deadlocked configuration (DOR cannot deadlock).
+func TestDeadlockWatchdogTrips(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	w := &singlePacket{src: 0, dst: 15, size: 4, at: 0}
+	cfg := meshConfig(topo, alloc.KindSeparableIF, 1, router.PolicyMaxFree)
+	cfg.Workload = w
+	cfg.DeadlockCycles = 2 // absurdly tight: pipeline latency alone exceeds it
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("watchdog did not trip at threshold 2")
+		}
+	}()
+	n.Run(100)
+}
+
+// With the default threshold the watchdog never trips on healthy
+// saturated traffic.
+func TestDeadlockWatchdogQuietOnHealthyTraffic(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	cfg := meshConfig(topo, alloc.KindSeparableIF, 2, router.PolicyBalanced)
+	cfg.MaxInjection = true
+	cfg.InjectionRate = 0
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(3000) // panics on watchdog failure
+}
+
+// A negative DeadlockCycles disables the watchdog entirely.
+func TestDeadlockWatchdogDisabled(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	w := &singlePacket{src: 0, dst: 15, size: 4, at: 0}
+	cfg := meshConfig(topo, alloc.KindSeparableIF, 1, router.PolicyMaxFree)
+	cfg.Workload = w
+	cfg.DeadlockCycles = -1
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(500) // must not panic even though long idle stretches occur
+}
+
+// The interleaved VC partition runs end-to-end and still shows the VIX
+// throughput gain.
+func TestInterleavedPartitionEndToEnd(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	cfg := meshConfig(topo, alloc.KindSeparableIF, 2, router.PolicyBalanced)
+	cfg.Router.Partition = alloc.Interleaved
+	cfg.MaxInjection = true
+	cfg.InjectionRate = 0
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Warmup(800)
+	s := n.Measure(2000)
+	if s.ThroughputFlits < 0.3 {
+		t.Fatalf("interleaved VIX throughput %.4f suspiciously low", s.ThroughputFlits)
+	}
+}
+
+// Oldest-first (age-aware) allocation must improve the latency tail
+// relative to plain rotating arbitration at identical load: p99 and max
+// latency shrink, average stays comparable.
+func TestAgeAllocationImprovesTail(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	run := func(kind alloc.Kind) (avg float64, p99, max int64) {
+		cfg := meshConfig(topo, kind, 1, router.PolicyMaxFree)
+		cfg.InjectionRate = 0.085 // near saturation, where queueing tails form
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Warmup(1500)
+		s := n.Measure(5000)
+		return s.AvgLatency, s.P99Latency, s.MaxLatency
+	}
+	avgIF, p99IF, maxIF := run(alloc.KindSeparableIF)
+	avgAge, p99Age, maxAge := run(alloc.KindSeparableAge)
+	if p99Age >= p99IF && maxAge >= maxIF {
+		t.Fatalf("age allocation did not improve the tail: p99 %d->%d, max %d->%d",
+			p99IF, p99Age, maxIF, maxAge)
+	}
+	if avgAge > 1.15*avgIF {
+		t.Fatalf("age allocation hurt average latency: %.2f vs %.2f", avgAge, avgIF)
+	}
+}
+
+// Property: conservation holds for arbitrary legal configurations —
+// random topology sizes, VC counts, virtual inputs, buffer depths,
+// allocators, packet sizes, and loads. Every generated packet is
+// delivered and the network drains clean.
+func TestConservationProperty(t *testing.T) {
+	rng := sim.NewRNG(777)
+	kinds := []alloc.Kind{
+		alloc.KindSeparableIF, alloc.KindWavefront, alloc.KindAugmentingPath,
+		alloc.KindPacketChaining, alloc.KindISLIP, alloc.KindSeparableAge,
+	}
+	for trial := 0; trial < 25; trial++ {
+		w := 2 + rng.Intn(3)
+		h := 2 + rng.Intn(3)
+		var topo *topology.Topology
+		switch rng.Intn(3) {
+		case 0:
+			topo = topology.NewMesh(w, h)
+		case 1:
+			topo = topology.NewCMesh(w, h, 1+rng.Intn(3))
+		default:
+			topo = topology.NewFBfly(w, h, 1+rng.Intn(3))
+		}
+		vcs := 2 + rng.Intn(5)
+		k := 1 + rng.Intn(2)
+		if k > vcs {
+			k = vcs
+		}
+		kind := kinds[rng.Intn(len(kinds))]
+		part := alloc.Partition(rng.Intn(2))
+		policy := []router.PolicyKind{router.PolicyMaxFree, router.PolicyDimension, router.PolicyBalanced}[rng.Intn(3)]
+		wl := &burstWorkload{
+			until:   300,
+			rate:    0.02 + 0.06*rng.Float64(),
+			pattern: traffic.NewUniform(topo.NumNodes),
+			size:    1 + rng.Intn(6),
+		}
+		cfg := Config{
+			Topology: topo,
+			Router: router.Config{
+				Ports: topo.Radix, VCs: vcs, VirtualInputs: k,
+				BufDepth: 2 + rng.Intn(6), AllocKind: kind, Policy: policy,
+				Partition:      part,
+				NonSpeculative: rng.Intn(2) == 0,
+			},
+			Workload: wl,
+			Seed:     rng.Uint64(),
+		}
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatalf("trial %d (%s on %s): %v", trial, kind, topo.Name, err)
+		}
+		n.Run(300)
+		for i := 0; i < 30000 && (n.InFlight() > 0 || n.QueuedAtSources() > 0); i++ {
+			n.Step()
+		}
+		if n.InFlight() != 0 || n.QueuedAtSources() != 0 {
+			t.Fatalf("trial %d (%s, %s, vcs=%d k=%d): stuck with %d in flight",
+				trial, kind, topo.Name, vcs, k, n.InFlight())
+		}
+		if wl.delivered != wl.generated {
+			t.Fatalf("trial %d (%s, %s): generated %d, delivered %d",
+				trial, kind, topo.Name, wl.generated, wl.delivered)
+		}
+	}
+}
+
+// Concentrated topologies eject through multiple local ports: one CMesh
+// router can deliver up to conc flits per cycle (one per local port),
+// while a single local port never exceeds one flit per cycle.
+func TestConcentratedEjectionBandwidth(t *testing.T) {
+	topo := topology.NewCMesh(2, 2, 4)
+	perCycle := map[int64]map[int]int{} // cycle -> node -> flits
+	cfg := meshConfig(topo, alloc.KindSeparableIF, 2, router.PolicyBalanced)
+	cfg.MaxInjection = true
+	cfg.InjectionRate = 0
+	var n *Network
+	cfg.OnEject = func(f *router.Flit) {
+		c := n.Cycle()
+		if perCycle[c] == nil {
+			perCycle[c] = map[int]int{}
+		}
+		perCycle[c][f.Dst]++
+	}
+	var err error
+	n, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(2000)
+
+	maxPerRouter := 0
+	for _, nodes := range perCycle {
+		perRouter := map[int]int{}
+		for node, count := range nodes {
+			if count > 1 {
+				t.Fatalf("node %d received %d flits in one cycle", node, count)
+			}
+			perRouter[topo.NodeRouter[node]] += count
+		}
+		for _, c := range perRouter {
+			if c > maxPerRouter {
+				maxPerRouter = c
+			}
+		}
+	}
+	if maxPerRouter > topo.Conc {
+		t.Fatalf("router ejected %d flits in one cycle, conc is %d", maxPerRouter, topo.Conc)
+	}
+	if maxPerRouter < 2 {
+		t.Fatalf("saturated CMesh never used parallel ejection (max %d/cycle)", maxPerRouter)
+	}
+}
+
+// Adaptive warmup converges on a steady workload and the subsequent
+// measurement matches a long fixed warmup within a few percent.
+func TestRunToSteadyState(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	cfg := meshConfig(topo, alloc.KindSeparableIF, 2, router.PolicyBalanced)
+	cfg.MaxInjection = true
+	cfg.InjectionRate = 0
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, converged := n.RunToSteadyState(400, 0.03, 20000)
+	if !converged {
+		t.Fatalf("did not converge in %d cycles", cycles)
+	}
+	adaptive := n.Measure(2000).ThroughputFlits
+
+	n2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2.Warmup(5000)
+	fixed := n2.Measure(2000).ThroughputFlits
+	if math.Abs(adaptive-fixed)/fixed > 0.06 {
+		t.Fatalf("adaptive warmup measurement %.4f far from fixed-warmup %.4f", adaptive, fixed)
+	}
+}
+
+// The steady-state helper gives up (converged=false) when maxCycles is
+// too small to see two windows.
+func TestRunToSteadyStateBudget(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	n, err := New(meshConfig(topo, alloc.KindSeparableIF, 1, router.PolicyMaxFree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles, converged := n.RunToSteadyState(400, 0.0001, 400); converged {
+		t.Fatalf("claimed convergence after %d cycles with one window", cycles)
+	}
+	// Defaults kick in for nonsense arguments.
+	if cycles, _ := n.RunToSteadyState(-1, -1, 1000); cycles == 0 {
+		t.Fatal("defaulted window ran zero cycles")
+	}
+}

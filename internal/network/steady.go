@@ -1,0 +1,40 @@
+package network
+
+import "math"
+
+// RunToSteadyState warms the network up adaptively instead of with a
+// fixed cycle count: it runs successive windows of the given length and
+// stops once the accepted flit throughput of two consecutive windows
+// agrees within tol (fractional), or maxCycles have elapsed. Statistics
+// are reset afterwards, leaving the network ready for measurement.
+//
+// It returns the number of warmup cycles consumed and whether convergence
+// was reached. Zero-traffic configurations converge trivially.
+func (n *Network) RunToSteadyState(window int, tol float64, maxCycles int) (cycles int, converged bool) {
+	if window <= 0 {
+		window = 500
+	}
+	if tol <= 0 {
+		tol = 0.02
+	}
+	prev := math.NaN()
+	for cycles < maxCycles {
+		n.col.Reset()
+		n.Run(window)
+		cycles += window
+		cur := n.col.Snapshot().ThroughputFlits
+		if !math.IsNaN(prev) {
+			if prev == 0 && cur == 0 {
+				converged = true
+				break
+			}
+			if prev > 0 && math.Abs(cur-prev)/prev <= tol {
+				converged = true
+				break
+			}
+		}
+		prev = cur
+	}
+	n.col.Reset()
+	return cycles, converged
+}

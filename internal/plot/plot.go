@@ -1,0 +1,116 @@
+// Package plot renders simple ASCII line charts for terminal output, so
+// the experiment CLIs can show Figure 8-style curves without any plotting
+// dependency. Charts are deliberately minimal: scaled scatter of each
+// series with distinct markers, axes with numeric extents, and a legend.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled curve.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// markers assigns each series a distinct glyph.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the series into a width x height character canvas framed
+// by axes. Points outside the finite data range are skipped; NaN and Inf
+// values are ignored. It returns the multi-line chart string.
+func Render(title string, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if i >= len(s.Y) || !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if minX > maxX || minY > maxY {
+		return title + "\n(no finite data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if i >= len(s.Y) || !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := height - 1 - int(math.Round((s.Y[i]-minY)/(maxY-minY)*float64(height-1)))
+			canvas[row][col] = m
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	yLo, yHi := formatTick(minY), formatTick(maxY)
+	pad := len(yHi)
+	if len(yLo) > pad {
+		pad = len(yLo)
+	}
+	for r, line := range canvas {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yHi)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	xLo, xHi := formatTick(minX), formatTick(maxX)
+	gap := width - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", pad), xLo, strings.Repeat(" ", gap), xHi)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Label)
+	}
+	return b.String()
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// formatTick renders an axis extent compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

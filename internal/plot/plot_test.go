@@ -1,0 +1,85 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicShape(t *testing.T) {
+	out := Render("latency vs load", []Series{
+		{Label: "IF", X: []float64{0.01, 0.05, 0.09}, Y: []float64{20, 30, 60}},
+		{Label: "VIX", X: []float64{0.01, 0.05, 0.09}, Y: []float64{20, 28, 45}},
+	}, 40, 10)
+	if !strings.Contains(out, "latency vs load") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* IF") || !strings.Contains(out, "o VIX") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("markers missing from canvas")
+	}
+	// Axis extents appear.
+	if !strings.Contains(out, "60") || !strings.Contains(out, "20") {
+		t.Errorf("y extents missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + xlabels + 2 legend lines
+	if want := 1 + 10 + 1 + 1 + 2; len(lines) != want {
+		t.Errorf("chart has %d lines, want %d:\n%s", len(lines), want, out)
+	}
+}
+
+// Monotonic data places the max-Y point on the top row and min-Y on the
+// bottom row.
+func TestRenderScaling(t *testing.T) {
+	out := Render("", []Series{
+		{Label: "s", X: []float64{0, 1}, Y: []float64{0, 10}},
+	}, 20, 5)
+	lines := strings.Split(out, "\n")
+	top, bottom := lines[0], lines[4]
+	if !strings.Contains(top, "*") {
+		t.Errorf("max point not on top row:\n%s", out)
+	}
+	if !strings.Contains(bottom, "*") {
+		t.Errorf("min point not on bottom row:\n%s", out)
+	}
+}
+
+func TestRenderIgnoresNonFinite(t *testing.T) {
+	out := Render("t", []Series{
+		{Label: "s", X: []float64{0, 1, 2}, Y: []float64{1, math.Inf(1), math.NaN()}},
+	}, 20, 5)
+	if strings.Contains(out, "no finite data") {
+		t.Error("finite point ignored")
+	}
+	out = Render("t", []Series{
+		{Label: "s", X: []float64{0}, Y: []float64{math.NaN()}},
+	}, 20, 5)
+	if !strings.Contains(out, "no finite data") {
+		t.Error("all-NaN series should report no data")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	// Single point: constant X and Y must not divide by zero.
+	out := Render("pt", []Series{{Label: "s", X: []float64{3}, Y: []float64{7}}}, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not rendered:\n%s", out)
+	}
+}
+
+func TestRenderClampsTinyDimensions(t *testing.T) {
+	out := Render("tiny", []Series{{Label: "s", X: []float64{0, 1}, Y: []float64{0, 1}}}, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("empty chart")
+	}
+}
+
+func TestMismatchedXYLengthsSafe(t *testing.T) {
+	out := Render("mm", []Series{{Label: "s", X: []float64{0, 1, 2}, Y: []float64{5}}}, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Errorf("prefix points not rendered:\n%s", out)
+	}
+}

@@ -1,0 +1,104 @@
+// Package router implements the cycle-accurate virtual-channel router
+// model of the paper's methodology: a three-stage pipeline (lookahead
+// route computation overlapped with VC and switch allocation, then switch
+// traversal, then link traversal), wormhole switching, credit-based
+// virtual-channel flow control, and a pluggable switch allocator driving
+// either the conventional P x P crossbar or the paper's kP x P virtual
+// input crossbar.
+package router
+
+import "fmt"
+
+// FlitType distinguishes the positions of a flit within its packet.
+type FlitType uint8
+
+// Flit positions. A single-flit packet is HeadTail.
+const (
+	Head FlitType = iota
+	Body
+	Tail
+	HeadTail
+)
+
+// IsHead reports whether the flit opens a packet (Head or HeadTail).
+func (ft FlitType) IsHead() bool { return ft == Head || ft == HeadTail }
+
+// IsTail reports whether the flit closes a packet (Tail or HeadTail).
+func (ft FlitType) IsTail() bool { return ft == Tail || ft == HeadTail }
+
+func (ft FlitType) String() string {
+	switch ft {
+	case Head:
+		return "head"
+	case Body:
+		return "body"
+	case Tail:
+		return "tail"
+	case HeadTail:
+		return "headtail"
+	default:
+		return fmt.Sprintf("flittype(%d)", uint8(ft))
+	}
+}
+
+// Flit is the unit of flow control. Flits of one packet follow the same
+// path and VC sequence (wormhole switching).
+type Flit struct {
+	PacketID uint64
+	Type     FlitType
+	Src, Dst int // terminal node ids
+	// Tag is an opaque workload identifier (e.g. the memory transaction
+	// a trace-driven packet belongs to).
+	Tag uint64
+	// Seq is the flit's index within its packet; PacketSize the total.
+	Seq, PacketSize int
+
+	// Route is the output port at the router currently buffering the
+	// flit, computed at arrival (lookahead route computation keeps this
+	// off the critical path; the model computes it on delivery).
+	Route int
+
+	// VC is the virtual channel the flit occupies at the current router;
+	// rewritten to the allocated output VC on switch traversal.
+	VC int
+
+	// CreateCycle is when the packet was generated at the source
+	// (including source-queue time in latency), InjectCycle when its head
+	// entered the network, EjectCycle when this flit left at the
+	// destination.
+	CreateCycle, InjectCycle, EjectCycle int64
+
+	// Hops counts router-to-router link traversals.
+	Hops int
+}
+
+// NewPacket builds the flit sequence for one packet of size flits.
+func NewPacket(id uint64, src, dst, size int, createCycle int64) []*Flit {
+	if size <= 0 {
+		panic("router: packet size must be positive")
+	}
+	flits := make([]*Flit, size)
+	for i := range flits {
+		ft := Body
+		switch {
+		case size == 1:
+			ft = HeadTail
+		case i == 0:
+			ft = Head
+		case i == size-1:
+			ft = Tail
+		}
+		flits[i] = &Flit{
+			PacketID:    id,
+			Type:        ft,
+			Src:         src,
+			Dst:         dst,
+			Seq:         i,
+			PacketSize:  size,
+			CreateCycle: createCycle,
+			Route:       -1,
+			VC:          -1,
+		}
+	}
+	return flits
+}

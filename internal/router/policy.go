@@ -1,0 +1,118 @@
+package router
+
+import (
+	"fmt"
+
+	"vix/internal/topology"
+)
+
+// PolicyKind selects the output-VC assignment policy used at VC
+// allocation time (Section 2.3 of the paper).
+type PolicyKind string
+
+// Output-VC assignment policies.
+const (
+	// PolicyMaxFree is the baseline: assign the free output VC with the
+	// most free flit buffers (credits).
+	PolicyMaxFree PolicyKind = "maxfree"
+	// PolicyDimension assigns packets to the VC sub-group matching the
+	// dimension of the output port they will request at the downstream
+	// router, so requests for different output ports tend to arrive on
+	// different virtual inputs.
+	PolicyDimension PolicyKind = "dimension"
+	// PolicyBalanced is PolicyDimension with load balancing: when the
+	// preferred sub-group is heavily occupied relative to the other, the
+	// packet is steered to the lighter sub-group so every virtual input
+	// keeps requests to offer. This is the paper's full Section 2.3
+	// policy and the default for VIX configurations.
+	PolicyBalanced PolicyKind = "balanced"
+)
+
+// vaContext carries the information a policy may consult when choosing an
+// output VC for a packet leaving through outPort.
+type vaContext struct {
+	// free[v] reports whether downstream VC v is unallocated.
+	free []bool
+	// credits[v] is the current credit count of downstream VC v.
+	credits []int
+	// busyInGroup[g] counts allocated (busy) VCs in sub-group g.
+	busyInGroup []int
+	// nextDim is the dimension class of the output port the packet will
+	// request at the downstream router (lookahead), or DimLocal when the
+	// downstream hop ejects.
+	nextDim topology.Dim
+	// groups is the number of VC sub-groups (the crossbar's virtual
+	// input factor k) and groupSize the VCs per sub-group.
+	groups, groupSize int
+}
+
+// choose returns the selected downstream VC, or -1 if no free VC exists.
+func (p PolicyKind) choose(ctx *vaContext) int {
+	switch p {
+	case PolicyMaxFree:
+		return bestIn(ctx, 0, len(ctx.free))
+	case PolicyDimension:
+		g := preferredGroup(ctx)
+		if v := bestInGroup(ctx, g); v >= 0 {
+			return v
+		}
+		return bestIn(ctx, 0, len(ctx.free))
+	case PolicyBalanced:
+		g := preferredGroup(ctx)
+		// Load balance: if the preferred sub-group already has strictly
+		// more busy VCs than the least-loaded sub-group, steer there so
+		// all virtual inputs keep requests.
+		min, argmin := ctx.busyInGroup[g], g
+		for i, b := range ctx.busyInGroup {
+			if b < min {
+				min, argmin = b, i
+			}
+		}
+		if ctx.busyInGroup[g] > min {
+			g = argmin
+		}
+		if v := bestInGroup(ctx, g); v >= 0 {
+			return v
+		}
+		return bestIn(ctx, 0, len(ctx.free))
+	default:
+		panic(fmt.Sprintf("router: unknown VC policy %q", p))
+	}
+}
+
+// preferredGroup maps the downstream direction onto a sub-group: X-dim
+// continuations to group 0, Y-dim and ejection to the last group. With
+// k = 1 everything maps to group 0 and the policy degenerates to maxfree.
+func preferredGroup(ctx *vaContext) int {
+	if ctx.groups == 1 {
+		return 0
+	}
+	switch ctx.nextDim {
+	case topology.DimX:
+		return 0
+	default:
+		return ctx.groups - 1
+	}
+}
+
+// bestInGroup returns the free VC with most credits within sub-group g,
+// or -1.
+func bestInGroup(ctx *vaContext, g int) int {
+	lo := g * ctx.groupSize
+	hi := lo + ctx.groupSize
+	if hi > len(ctx.free) {
+		hi = len(ctx.free)
+	}
+	return bestIn(ctx, lo, hi)
+}
+
+// bestIn returns the free VC with the most credits in [lo, hi), or -1.
+func bestIn(ctx *vaContext, lo, hi int) int {
+	best, bestCred := -1, -1
+	for v := lo; v < hi; v++ {
+		if ctx.free[v] && ctx.credits[v] > bestCred {
+			best, bestCred = v, ctx.credits[v]
+		}
+	}
+	return best
+}

@@ -1,0 +1,134 @@
+package router
+
+import (
+	"testing"
+
+	"vix/internal/topology"
+)
+
+// ctx6x2 builds a vaContext for 6 VCs in 2 sub-groups of 3.
+func ctx6x2(free []bool, credits []int, busyInGroup []int, dim topology.Dim) *vaContext {
+	return &vaContext{
+		free: free, credits: credits, busyInGroup: busyInGroup,
+		nextDim: dim, groups: 2, groupSize: 3,
+	}
+}
+
+func TestMaxFreePicksMostCredits(t *testing.T) {
+	ctx := ctx6x2(
+		[]bool{true, true, true, true, true, true},
+		[]int{1, 4, 2, 5, 0, 3},
+		[]int{0, 0}, topology.DimX,
+	)
+	if got := PolicyMaxFree.choose(ctx); got != 3 {
+		t.Fatalf("maxfree chose %d, want 3 (5 credits)", got)
+	}
+}
+
+func TestMaxFreeSkipsBusy(t *testing.T) {
+	ctx := ctx6x2(
+		[]bool{false, true, false, false, true, false},
+		[]int{9, 1, 9, 9, 2, 9},
+		[]int{2, 2}, topology.DimY,
+	)
+	if got := PolicyMaxFree.choose(ctx); got != 4 {
+		t.Fatalf("maxfree chose %d, want 4", got)
+	}
+}
+
+func TestMaxFreeNoFreeVC(t *testing.T) {
+	ctx := ctx6x2(
+		[]bool{false, false, false, false, false, false},
+		[]int{0, 0, 0, 0, 0, 0},
+		[]int{3, 3}, topology.DimX,
+	)
+	if got := PolicyMaxFree.choose(ctx); got != -1 {
+		t.Fatalf("choose on all-busy = %d, want -1", got)
+	}
+}
+
+// Dimension policy: X-bound continuations go to sub-group 0, Y-bound and
+// ejecting to the last sub-group.
+func TestDimensionGroupPreference(t *testing.T) {
+	free := []bool{true, true, true, true, true, true}
+	creds := []int{3, 3, 3, 3, 3, 3}
+	ctx := ctx6x2(free, creds, []int{0, 0}, topology.DimX)
+	if got := PolicyDimension.choose(ctx); got > 2 {
+		t.Fatalf("X continuation assigned VC %d outside sub-group 0", got)
+	}
+	ctx = ctx6x2(free, creds, []int{0, 0}, topology.DimY)
+	if got := PolicyDimension.choose(ctx); got < 3 {
+		t.Fatalf("Y continuation assigned VC %d outside sub-group 1", got)
+	}
+	ctx = ctx6x2(free, creds, []int{0, 0}, topology.DimLocal)
+	if got := PolicyDimension.choose(ctx); got < 3 {
+		t.Fatalf("ejecting packet assigned VC %d outside sub-group 1", got)
+	}
+}
+
+// Dimension policy falls back to the other sub-group when the preferred
+// one is fully busy.
+func TestDimensionFallback(t *testing.T) {
+	ctx := ctx6x2(
+		[]bool{false, false, false, true, true, true},
+		[]int{0, 0, 0, 2, 5, 1},
+		[]int{3, 0}, topology.DimX,
+	)
+	if got := PolicyDimension.choose(ctx); got != 4 {
+		t.Fatalf("fallback chose %d, want 4 (most credits in other group)", got)
+	}
+}
+
+// Balanced policy overrides the dimension preference when the preferred
+// sub-group is more heavily occupied, keeping both virtual inputs fed.
+func TestBalancedSteersToLighterGroup(t *testing.T) {
+	// X-bound packet prefers group 0, but group 0 has 2 busy VCs while
+	// group 1 has none: balanced steers to group 1.
+	ctx := ctx6x2(
+		[]bool{false, false, true, true, true, true},
+		[]int{0, 0, 4, 3, 3, 3},
+		[]int{2, 0}, topology.DimX,
+	)
+	if got := PolicyBalanced.choose(ctx); got < 3 {
+		t.Fatalf("balanced chose %d in overloaded group 0", got)
+	}
+	// Equal occupancy: keep the dimension preference.
+	ctx = ctx6x2(
+		[]bool{true, true, true, true, true, true},
+		[]int{3, 3, 3, 3, 3, 3},
+		[]int{1, 1}, topology.DimX,
+	)
+	if got := PolicyBalanced.choose(ctx); got > 2 {
+		t.Fatalf("balanced abandoned dimension preference without load imbalance: %d", got)
+	}
+}
+
+// With a single sub-group (k=1) all policies behave like maxfree.
+func TestPoliciesDegenerateAtKOne(t *testing.T) {
+	ctx := &vaContext{
+		free:        []bool{true, false, true, true},
+		credits:     []int{1, 9, 7, 2},
+		busyInGroup: []int{1},
+		nextDim:     topology.DimY,
+		groups:      1,
+		groupSize:   4,
+	}
+	for _, p := range []PolicyKind{PolicyMaxFree, PolicyDimension, PolicyBalanced} {
+		if got := p.choose(ctx); got != 2 {
+			t.Errorf("%s chose %d at k=1, want 2", p, got)
+		}
+	}
+}
+
+func TestUnknownPolicyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown policy did not panic")
+		}
+	}()
+	PolicyKind("bogus").choose(ctx6x2(
+		[]bool{true, true, true, true, true, true},
+		[]int{1, 1, 1, 1, 1, 1},
+		[]int{0, 0}, topology.DimX,
+	))
+}

@@ -1,0 +1,336 @@
+package router
+
+import (
+	"fmt"
+
+	"vix/internal/alloc"
+	"vix/internal/topology"
+)
+
+// Config holds the per-router microarchitecture parameters of the paper's
+// methodology (Section 3): buffering of v VCs per port with a fixed
+// buffer depth, a crossbar with k virtual inputs per port, a switch
+// allocation scheme, and an output-VC assignment policy.
+type Config struct {
+	Ports         int             // router radix P
+	VCs           int             // virtual channels per input port
+	VirtualInputs int             // crossbar virtual inputs per port (1 = baseline, 2 = VIX)
+	BufDepth      int             // flit buffers per VC
+	AllocKind     alloc.Kind      // switch allocation scheme
+	Policy        PolicyKind      // output-VC assignment policy
+	Partition     alloc.Partition // VC-to-sub-group mapping (default contiguous)
+
+	// NonSpeculative disables speculative switch allocation: a head flit
+	// that wins VC allocation this cycle may only compete in switch
+	// allocation from the next cycle. The default (false) models the
+	// paper's optimised pipeline (Figure 6b, citing Peh & Dally), where
+	// heads speculatively bid for the switch in parallel with VA.
+	NonSpeculative bool
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.BufDepth <= 0 {
+		return fmt.Errorf("router: BufDepth must be positive, got %d", c.BufDepth)
+	}
+	if c.Policy == "" {
+		return fmt.Errorf("router: Policy must be set")
+	}
+	return c.Alloc().Validate()
+}
+
+// Alloc returns the allocator geometry implied by the config.
+func (c Config) Alloc() alloc.Config {
+	return alloc.Config{Ports: c.Ports, VCs: c.VCs, VirtualInputs: c.VirtualInputs, Partition: c.Partition}
+}
+
+// PortInfo describes one (bidirectional) router port's wiring class and
+// dimension, taken from the topology.
+type PortInfo struct {
+	Kind topology.PortKind
+	Dim  topology.Dim
+}
+
+// Emission is a flit leaving through an output port this cycle; the
+// network layer schedules its arrival downstream (or its ejection) after
+// switch and link traversal.
+type Emission struct {
+	OutPort int
+	Flit    *Flit
+}
+
+// CreditMsg is a credit freed by a flit departing input (Port, VC),
+// to be returned to the upstream router.
+type CreditMsg struct {
+	Port, VC int
+}
+
+// NextDimFunc returns the dimension class of the output port a packet
+// destined to dst will request at the downstream router reached through
+// outPort (lookahead information for the Section 2.3 policies).
+type NextDimFunc func(outPort, dst int) topology.Dim
+
+// inputVC is the state of one virtual channel at one input port.
+type inputVC struct {
+	buf      []*Flit
+	ovcValid bool
+	ovc      int // allocated downstream VC for the current packet
+	outPort  int // route of the current packet
+	// wait counts consecutive cycles the front flit has requested the
+	// switch without winning; age-aware allocators consume it.
+	wait int
+}
+
+// outputPort tracks the downstream buffer state for one output port.
+type outputPort struct {
+	info    PortInfo
+	credits []int  // per downstream VC
+	busy    []bool // downstream VC held by one of this router's input VCs
+}
+
+// Router is a cycle-accurate virtual-channel router.
+type Router struct {
+	id      int
+	cfg     Config
+	acfg    alloc.Config
+	alloc   alloc.Allocator
+	nextDim NextDimFunc
+
+	in  [][]*inputVC // [port][vc]
+	out []*outputPort
+
+	vaOffset int // rotating VC-allocation priority
+
+	// justAllocated marks input VCs whose output VC was granted in the
+	// current Tick; with NonSpeculative set they sit out this cycle's
+	// switch allocation.
+	justAllocated []bool
+
+	// scratch
+	reqs        alloc.RequestSet
+	busyInGroup []int
+	freeScratch []bool
+}
+
+// New builds a router. ports describes the wiring class of each port
+// (symmetric in/out). The allocator must match cfg.Alloc() geometry.
+func New(id int, cfg Config, ports []PortInfo, allocator alloc.Allocator, nextDim NextDimFunc) *Router {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if len(ports) != cfg.Ports {
+		panic(fmt.Sprintf("router: %d port infos for %d ports", len(ports), cfg.Ports))
+	}
+	r := &Router{
+		id:            id,
+		cfg:           cfg,
+		acfg:          cfg.Alloc(),
+		alloc:         allocator,
+		nextDim:       nextDim,
+		justAllocated: make([]bool, cfg.Ports*cfg.VCs),
+		busyInGroup:   make([]int, cfg.VirtualInputs),
+		freeScratch:   make([]bool, cfg.VCs),
+	}
+	r.reqs.Config = r.acfg
+	r.in = make([][]*inputVC, cfg.Ports)
+	r.out = make([]*outputPort, cfg.Ports)
+	for p := 0; p < cfg.Ports; p++ {
+		r.in[p] = make([]*inputVC, cfg.VCs)
+		for v := 0; v < cfg.VCs; v++ {
+			r.in[p][v] = &inputVC{buf: make([]*Flit, 0, cfg.BufDepth)}
+		}
+		op := &outputPort{
+			info:    ports[p],
+			credits: make([]int, cfg.VCs),
+			busy:    make([]bool, cfg.VCs),
+		}
+		for v := range op.credits {
+			op.credits[v] = cfg.BufDepth
+		}
+		r.out[p] = op
+	}
+	return r
+}
+
+// ID returns the router's index in its network.
+func (r *Router) ID() int { return r.id }
+
+// Config returns the router's configuration.
+func (r *Router) Config() Config { return r.cfg }
+
+// DeliverFlit places an arriving flit into input (port, vc). The caller
+// must have set the flit's Route for this router. It panics on buffer
+// overflow, which would indicate a flow-control bug.
+func (r *Router) DeliverFlit(port, vc int, f *Flit) {
+	ivc := r.in[port][vc]
+	if len(ivc.buf) >= r.cfg.BufDepth {
+		panic(fmt.Sprintf("router %d: buffer overflow at port %d vc %d", r.id, port, vc))
+	}
+	if f.Route < 0 || f.Route >= r.cfg.Ports {
+		panic(fmt.Sprintf("router %d: flit delivered with invalid route %d", r.id, f.Route))
+	}
+	f.VC = vc
+	ivc.buf = append(ivc.buf, f)
+}
+
+// DeliverCredit returns one credit for downstream VC vc of outPort.
+func (r *Router) DeliverCredit(outPort, vc int) {
+	op := r.out[outPort]
+	if op.credits[vc] >= r.cfg.BufDepth {
+		panic(fmt.Sprintf("router %d: credit overflow at port %d vc %d", r.id, outPort, vc))
+	}
+	op.credits[vc]++
+}
+
+// BufferSpace returns the free flit slots of input (port, vc); the
+// network interface uses it to gate injection at local ports.
+func (r *Router) BufferSpace(port, vc int) int {
+	return r.cfg.BufDepth - len(r.in[port][vc].buf)
+}
+
+// Occupancy returns the number of buffered flits across all input VCs.
+func (r *Router) Occupancy() int {
+	n := 0
+	for _, port := range r.in {
+		for _, ivc := range port {
+			n += len(ivc.buf)
+		}
+	}
+	return n
+}
+
+// Credits exposes the credit count for (outPort, vc); used by tests.
+func (r *Router) Credits(outPort, vc int) int { return r.out[outPort].credits[vc] }
+
+// Tick advances the router one cycle: VC allocation, then switch
+// allocation, then switch traversal of the winners. It returns the flits
+// leaving through output ports and the credits freed at input ports.
+func (r *Router) Tick() (ems []Emission, credits []CreditMsg) {
+	if r.cfg.NonSpeculative {
+		for i := range r.justAllocated {
+			r.justAllocated[i] = false
+		}
+	}
+	r.allocateVCs()
+	grants := r.alloc.Allocate(r.buildRequests())
+	for _, g := range grants {
+		ivc := r.in[g.Port][g.VC]
+		ivc.wait = 0
+		f := ivc.buf[0]
+		ivc.buf = ivc.buf[:copy(ivc.buf, ivc.buf[1:])]
+		op := r.out[g.OutPort]
+		if op.info.Kind == topology.Link {
+			op.credits[ivc.ovc]--
+			if op.credits[ivc.ovc] < 0 {
+				panic(fmt.Sprintf("router %d: credit underflow at port %d vc %d", r.id, g.OutPort, ivc.ovc))
+			}
+			f.Hops++
+			if f.Type.IsTail() {
+				op.busy[ivc.ovc] = false
+			}
+		}
+		f.VC = ivc.ovc
+		if f.Type.IsTail() {
+			ivc.ovcValid = false
+		}
+		ems = append(ems, Emission{OutPort: g.OutPort, Flit: f})
+		if r.out[g.Port].info.Kind == topology.Link {
+			credits = append(credits, CreditMsg{Port: g.Port, VC: g.VC})
+		}
+	}
+	return ems, credits
+}
+
+// allocateVCs performs the VC allocation stage: head flits at the front
+// of their buffers acquire an output VC at the downstream router. Input
+// VCs are visited in a rotating order for long-run fairness.
+func (r *Router) allocateVCs() {
+	total := r.cfg.Ports * r.cfg.VCs
+	for i := 0; i < total; i++ {
+		idx := (r.vaOffset + i) % total
+		port, vc := idx/r.cfg.VCs, idx%r.cfg.VCs
+		ivc := r.in[port][vc]
+		if len(ivc.buf) == 0 || ivc.ovcValid {
+			continue
+		}
+		f := ivc.buf[0]
+		if !f.Type.IsHead() {
+			// A body flit without a valid output VC cannot occur: the VC
+			// is held from head grant to tail departure.
+			panic(fmt.Sprintf("router %d: body flit at front of unallocated VC", r.id))
+		}
+		out := f.Route
+		op := r.out[out]
+		if op.info.Kind == topology.Local {
+			// Ejection needs no downstream VC: the sink absorbs at link
+			// bandwidth, serialised per output port by switch allocation.
+			ivc.ovcValid, ivc.ovc, ivc.outPort = true, 0, out
+			r.justAllocated[idx] = true
+			continue
+		}
+		v := r.chooseOVC(op, f.Dst, out)
+		if v < 0 {
+			continue // all suitable downstream VCs busy; retry next cycle
+		}
+		ivc.ovcValid, ivc.ovc, ivc.outPort = true, v, out
+		op.busy[v] = true
+		r.justAllocated[idx] = true
+	}
+	r.vaOffset++
+}
+
+// chooseOVC applies the configured Section 2.3 policy.
+func (r *Router) chooseOVC(op *outputPort, dst, out int) int {
+	for g := range r.busyInGroup {
+		r.busyInGroup[g] = 0
+	}
+	groupSize := r.acfg.GroupSize()
+	anyFree := false
+	for v := 0; v < r.cfg.VCs; v++ {
+		r.freeScratch[v] = !op.busy[v]
+		if op.busy[v] {
+			r.busyInGroup[r.acfg.Subgroup(v)]++
+		} else {
+			anyFree = true
+		}
+	}
+	if !anyFree {
+		return -1
+	}
+	ctx := vaContext{
+		free:        r.freeScratch,
+		credits:     op.credits,
+		busyInGroup: r.busyInGroup,
+		nextDim:     r.nextDim(out, dst),
+		groups:      r.cfg.VirtualInputs,
+		groupSize:   groupSize,
+	}
+	return r.cfg.Policy.choose(&ctx)
+}
+
+// buildRequests assembles this cycle's switch-allocation request set:
+// every input VC whose front flit has an output VC and a downstream
+// credit requests its packet's output port.
+func (r *Router) buildRequests() *alloc.RequestSet {
+	r.reqs.Requests = r.reqs.Requests[:0]
+	for port := 0; port < r.cfg.Ports; port++ {
+		for vc := 0; vc < r.cfg.VCs; vc++ {
+			ivc := r.in[port][vc]
+			if len(ivc.buf) == 0 || !ivc.ovcValid {
+				continue
+			}
+			if r.cfg.NonSpeculative && r.justAllocated[port*r.cfg.VCs+vc] {
+				continue // VA and SA may not overlap in the same cycle
+			}
+			op := r.out[ivc.outPort]
+			if op.info.Kind == topology.Link && op.credits[ivc.ovc] == 0 {
+				continue
+			}
+			r.reqs.Requests = append(r.reqs.Requests, alloc.Request{
+				Port: port, VC: vc, OutPort: ivc.outPort, Age: ivc.wait,
+			})
+			ivc.wait++
+		}
+	}
+	return &r.reqs
+}

@@ -1,0 +1,391 @@
+package router
+
+import (
+	"testing"
+
+	"vix/internal/alloc"
+	"vix/internal/topology"
+)
+
+// testRouter builds an isolated radix-5 router: port 0 local, ports 1-4
+// links, with a lookahead stub that always reports ejection next hop.
+func testRouter(t *testing.T, cfg Config) *Router {
+	t.Helper()
+	ports := make([]PortInfo, cfg.Ports)
+	ports[0] = PortInfo{Kind: topology.Local, Dim: topology.DimLocal}
+	for p := 1; p < cfg.Ports; p++ {
+		dim := topology.DimX
+		if p >= 3 {
+			dim = topology.DimY
+		}
+		ports[p] = PortInfo{Kind: topology.Link, Dim: dim}
+	}
+	a, err := alloc.New(cfg.AllocKind, cfg.Alloc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(7, cfg, ports, a, func(outPort, dst int) topology.Dim { return topology.DimLocal })
+}
+
+func baseConfig() Config {
+	return Config{
+		Ports: 5, VCs: 6, VirtualInputs: 1, BufDepth: 5,
+		AllocKind: alloc.KindSeparableIF, Policy: PolicyMaxFree,
+	}
+}
+
+// deliver pushes a packet's flits into (port, vc) with the given route.
+func deliver(r *Router, port, vc, route int, flits []*Flit) {
+	for _, f := range flits {
+		f.Route = route
+		r.DeliverFlit(port, vc, f)
+	}
+}
+
+func TestSingleFlitTraversal(t *testing.T) {
+	r := testRouter(t, baseConfig())
+	pkt := NewPacket(1, 0, 9, 1, 0)
+	deliver(r, 1, 0, 2, pkt)
+
+	ems, credits := r.Tick()
+	if len(ems) != 1 {
+		t.Fatalf("got %d emissions, want 1", len(ems))
+	}
+	if ems[0].OutPort != 2 {
+		t.Errorf("emitted through port %d, want 2", ems[0].OutPort)
+	}
+	if ems[0].Flit.Hops != 1 {
+		t.Errorf("hops = %d, want 1", ems[0].Flit.Hops)
+	}
+	if len(credits) != 1 || credits[0] != (CreditMsg{Port: 1, VC: 0}) {
+		t.Errorf("credits = %+v, want one for port 1 vc 0", credits)
+	}
+	// One downstream credit consumed at output 2.
+	total := 0
+	for v := 0; v < 6; v++ {
+		total += r.Credits(2, v)
+	}
+	if total != 6*5-1 {
+		t.Errorf("credits at out 2 sum to %d, want %d", total, 6*5-1)
+	}
+}
+
+func TestEjectionConsumesNoCreditsAndEmitsUpstreamCredit(t *testing.T) {
+	r := testRouter(t, baseConfig())
+	pkt := NewPacket(1, 0, 9, 1, 0)
+	deliver(r, 3, 2, 0, pkt) // route to local port 0
+
+	ems, credits := r.Tick()
+	if len(ems) != 1 || ems[0].OutPort != 0 {
+		t.Fatalf("ejection emission wrong: %+v", ems)
+	}
+	if ems[0].Flit.Hops != 0 {
+		t.Errorf("ejection counted a hop: %d", ems[0].Flit.Hops)
+	}
+	if len(credits) != 1 || credits[0] != (CreditMsg{Port: 3, VC: 2}) {
+		t.Errorf("credits = %+v", credits)
+	}
+	for v := 0; v < 6; v++ {
+		if r.Credits(0, v) != 5 {
+			t.Errorf("local out credits changed: vc %d = %d", v, r.Credits(0, v))
+		}
+	}
+}
+
+func TestLocalInputPortEmitsNoCreditMessage(t *testing.T) {
+	r := testRouter(t, baseConfig())
+	pkt := NewPacket(1, 0, 9, 1, 0)
+	deliver(r, 0, 0, 2, pkt) // injected at local port
+
+	_, credits := r.Tick()
+	if len(credits) != 0 {
+		t.Fatalf("local input produced credit messages: %+v", credits)
+	}
+}
+
+func TestMultiFlitWormhole(t *testing.T) {
+	r := testRouter(t, baseConfig())
+	pkt := NewPacket(1, 0, 9, 4, 0)
+	deliver(r, 1, 0, 2, pkt)
+
+	var sent []*Flit
+	for cycle := 0; cycle < 4; cycle++ {
+		ems, _ := r.Tick()
+		if len(ems) != 1 {
+			t.Fatalf("cycle %d: %d emissions, want 1", cycle, len(ems))
+		}
+		sent = append(sent, ems[0].Flit)
+	}
+	for i, f := range sent {
+		if f.Seq != i {
+			t.Errorf("flit %d out of order: seq %d", i, f.Seq)
+		}
+		if f.VC != sent[0].VC {
+			t.Errorf("flit %d switched VC mid-packet: %d vs %d", i, f.VC, sent[0].VC)
+		}
+	}
+	if ems, _ := r.Tick(); len(ems) != 0 {
+		t.Fatalf("empty router still emitting: %+v", ems)
+	}
+}
+
+// The output VC is held until the tail departs: a second packet wanting
+// the same output port must use a different downstream VC.
+func TestOutputVCHeldUntilTail(t *testing.T) {
+	r := testRouter(t, baseConfig())
+	deliver(r, 1, 0, 2, NewPacket(1, 0, 9, 3, 0))
+	deliver(r, 3, 0, 2, NewPacket(2, 1, 9, 3, 0))
+
+	vcs := map[uint64]int{}
+	for cycle := 0; cycle < 8; cycle++ {
+		ems, _ := r.Tick()
+		for _, e := range ems {
+			if prev, ok := vcs[e.Flit.PacketID]; ok && prev != e.Flit.VC {
+				t.Fatalf("packet %d changed downstream VC", e.Flit.PacketID)
+			}
+			vcs[e.Flit.PacketID] = e.Flit.VC
+		}
+	}
+	if len(vcs) != 2 {
+		t.Fatalf("expected both packets to progress, saw %v", vcs)
+	}
+	if vcs[1] == vcs[2] {
+		t.Fatal("two concurrent packets shared one downstream VC")
+	}
+}
+
+// With zero credits a flit must not be granted; it resumes after a credit
+// returns.
+func TestCreditBlocking(t *testing.T) {
+	cfg := baseConfig()
+	cfg.BufDepth = 1
+	cfg.VCs = 1
+	cfg.VirtualInputs = 1
+	r := testRouter(t, cfg)
+
+	pkt := NewPacket(1, 0, 9, 2, 0)
+	deliver(r, 1, 0, 2, pkt[:1])
+
+	ems, _ := r.Tick()
+	if len(ems) != 1 {
+		t.Fatalf("first flit blocked unexpectedly")
+	}
+	deliver(r, 1, 0, 2, pkt[1:])
+	// The single downstream credit is now consumed.
+	if r.Credits(2, 0) != 0 {
+		t.Fatalf("credit accounting wrong: %d", r.Credits(2, 0))
+	}
+	if ems, _ := r.Tick(); len(ems) != 0 {
+		t.Fatalf("flit advanced without credit: %+v", ems)
+	}
+	r.DeliverCredit(2, 0)
+	if ems, _ := r.Tick(); len(ems) != 1 {
+		t.Fatal("flit did not advance after credit return")
+	}
+}
+
+func TestBufferOverflowPanics(t *testing.T) {
+	cfg := baseConfig()
+	cfg.BufDepth = 2
+	r := testRouter(t, cfg)
+	pkt := NewPacket(1, 0, 9, 3, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("buffer overflow did not panic")
+		}
+	}()
+	deliver(r, 1, 0, 2, pkt) // 3 flits into depth-2 buffer
+}
+
+func TestInvalidRoutePanics(t *testing.T) {
+	r := testRouter(t, baseConfig())
+	f := NewPacket(1, 0, 9, 1, 0)[0]
+	f.Route = 99
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid route did not panic")
+		}
+	}()
+	r.DeliverFlit(1, 0, f)
+}
+
+func TestCreditOverflowPanics(t *testing.T) {
+	r := testRouter(t, baseConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("credit overflow did not panic")
+		}
+	}()
+	r.DeliverCredit(1, 0) // already at BufDepth
+}
+
+// Baseline (k=1) can move at most one flit per input port per cycle even
+// with traffic in many VCs; VIX (k=2) moves two when they sit in
+// different sub-groups.
+func TestVIXDatapathParallelism(t *testing.T) {
+	base := baseConfig()
+	r := testRouter(t, base)
+	deliver(r, 1, 0, 2, NewPacket(1, 0, 9, 1, 0))
+	deliver(r, 1, 3, 4, NewPacket(2, 0, 8, 1, 0))
+	ems, _ := r.Tick()
+	if len(ems) != 1 {
+		t.Fatalf("baseline moved %d flits from one port, want 1", len(ems))
+	}
+
+	vixCfg := baseConfig()
+	vixCfg.VirtualInputs = 2
+	vixCfg.Policy = PolicyBalanced
+	r2 := testRouter(t, vixCfg)
+	deliver(r2, 1, 0, 2, NewPacket(1, 0, 9, 1, 0)) // sub-group 0
+	deliver(r2, 1, 3, 4, NewPacket(2, 0, 8, 1, 0)) // sub-group 1
+	ems2, _ := r2.Tick()
+	if len(ems2) != 2 {
+		t.Fatalf("VIX moved %d flits from one port, want 2", len(ems2))
+	}
+}
+
+// Body flits must never be presented for VC allocation: the head holds
+// the output VC for the whole packet.
+func TestBodyFlitsInheritOutputVC(t *testing.T) {
+	r := testRouter(t, baseConfig())
+	pkt := NewPacket(1, 0, 9, 5, 0)
+	deliver(r, 2, 1, 3, pkt)
+	seen := map[int]bool{}
+	for i := 0; i < 5; i++ {
+		ems, _ := r.Tick()
+		if len(ems) != 1 {
+			t.Fatalf("cycle %d: emissions %d", i, len(ems))
+		}
+		seen[ems[0].Flit.VC] = true
+	}
+	if len(seen) != 1 {
+		t.Fatalf("packet used %d downstream VCs, want 1", len(seen))
+	}
+}
+
+func TestOccupancyAndBufferSpace(t *testing.T) {
+	r := testRouter(t, baseConfig())
+	if r.Occupancy() != 0 {
+		t.Fatalf("fresh router occupancy %d", r.Occupancy())
+	}
+	deliver(r, 1, 2, 3, NewPacket(1, 0, 9, 2, 0))
+	if r.Occupancy() != 2 {
+		t.Fatalf("occupancy %d, want 2", r.Occupancy())
+	}
+	if got := r.BufferSpace(1, 2); got != 3 {
+		t.Fatalf("BufferSpace = %d, want 3", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := baseConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := good
+	bad.BufDepth = 0
+	if bad.Validate() == nil {
+		t.Error("zero BufDepth accepted")
+	}
+	bad = good
+	bad.Policy = ""
+	if bad.Validate() == nil {
+		t.Error("empty policy accepted")
+	}
+	bad = good
+	bad.VirtualInputs = 9
+	if bad.Validate() == nil {
+		t.Error("VirtualInputs > VCs accepted")
+	}
+}
+
+func TestNewPacketShapes(t *testing.T) {
+	single := NewPacket(5, 1, 2, 1, 10)
+	if len(single) != 1 || single[0].Type != HeadTail {
+		t.Fatalf("single-flit packet wrong: %+v", single)
+	}
+	multi := NewPacket(6, 1, 2, 4, 10)
+	wantTypes := []FlitType{Head, Body, Body, Tail}
+	for i, f := range multi {
+		if f.Type != wantTypes[i] {
+			t.Errorf("flit %d type %v, want %v", i, f.Type, wantTypes[i])
+		}
+		if f.Seq != i || f.PacketSize != 4 || f.CreateCycle != 10 {
+			t.Errorf("flit %d metadata wrong: %+v", i, f)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-size packet did not panic")
+		}
+	}()
+	NewPacket(7, 1, 2, 0, 0)
+}
+
+func TestFlitTypePredicates(t *testing.T) {
+	cases := []struct {
+		ft         FlitType
+		head, tail bool
+		str        string
+	}{
+		{Head, true, false, "head"},
+		{Body, false, false, "body"},
+		{Tail, false, true, "tail"},
+		{HeadTail, true, true, "headtail"},
+	}
+	for _, c := range cases {
+		if c.ft.IsHead() != c.head || c.ft.IsTail() != c.tail {
+			t.Errorf("%v predicates wrong", c.ft)
+		}
+		if c.ft.String() != c.str {
+			t.Errorf("%v String() = %q", c.ft, c.ft.String())
+		}
+	}
+}
+
+// Non-speculative switch allocation delays a head flit by one cycle at
+// each VA: the flit wins VA in one Tick and SA only in the next.
+func TestNonSpeculativeDelaysHeadOneCycle(t *testing.T) {
+	cfg := baseConfig()
+	cfg.NonSpeculative = true
+	r := testRouter(t, cfg)
+	deliver(r, 1, 0, 2, NewPacket(1, 0, 9, 1, 0))
+
+	ems, _ := r.Tick()
+	if len(ems) != 0 {
+		t.Fatalf("non-speculative head traversed in its VA cycle")
+	}
+	ems, _ = r.Tick()
+	if len(ems) != 1 {
+		t.Fatalf("head did not traverse in the cycle after VA: %+v", ems)
+	}
+}
+
+// Speculative (default) allocation lets the head do VA and SA in the
+// same cycle — the Figure 6b pipeline.
+func TestSpeculativeHeadSameCycle(t *testing.T) {
+	r := testRouter(t, baseConfig())
+	deliver(r, 1, 0, 2, NewPacket(1, 0, 9, 1, 0))
+	if ems, _ := r.Tick(); len(ems) != 1 {
+		t.Fatalf("speculative head failed to traverse in VA cycle: %+v", ems)
+	}
+}
+
+// Body flits are never delayed by the non-speculative rule: only the VA
+// cycle itself is affected.
+func TestNonSpeculativeBodyFlitsUnaffected(t *testing.T) {
+	cfg := baseConfig()
+	cfg.NonSpeculative = true
+	r := testRouter(t, cfg)
+	deliver(r, 1, 0, 2, NewPacket(1, 0, 9, 4, 0))
+
+	var sent int
+	for cycle := 0; cycle < 6; cycle++ {
+		ems, _ := r.Tick()
+		sent += len(ems)
+	}
+	// Cycle 0: VA only. Cycles 1-4: one flit each.
+	if sent != 4 {
+		t.Fatalf("sent %d flits in 6 cycles, want 4", sent)
+	}
+}

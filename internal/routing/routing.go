@@ -1,0 +1,91 @@
+// Package routing implements the deterministic dimension-order routing of
+// the paper's methodology for all three evaluated topologies, plus the
+// lookahead helper that lets the three-stage pipeline overlap route
+// computation with allocation.
+//
+// Dimension-order routing resolves the X dimension completely before the
+// Y dimension. On the mesh and concentrated mesh that means hop-by-hop
+// east/west then north/south; on the flattened butterfly a single direct
+// hop per dimension. X-before-Y with one VC pool is deadlock-free on all
+// three.
+package routing
+
+import (
+	"fmt"
+
+	"vix/internal/topology"
+)
+
+// Func computes the output port a packet destined to node dst must take
+// at the given router.
+type Func func(t *topology.Topology, router, dst int) int
+
+// DOR returns the dimension-order routing function for t's kind.
+func DOR(t *topology.Topology) Func {
+	switch t.Kind {
+	case topology.KindMesh, topology.KindCMesh:
+		return meshDOR
+	case topology.KindFBfly:
+		return fbflyDOR
+	default:
+		panic(fmt.Sprintf("routing: no DOR for topology kind %q", t.Kind))
+	}
+}
+
+// meshDOR routes X first, then Y, then ejects at the destination's local
+// port.
+func meshDOR(t *topology.Topology, router, dst int) int {
+	dr := t.NodeRouter[dst]
+	if dr == router {
+		return t.LocalPort(dst)
+	}
+	x, y := t.RouterXY(router)
+	dx, dy := t.RouterXY(dr)
+	switch {
+	case dx > x:
+		return t.EastPort()
+	case dx < x:
+		return t.WestPort()
+	case dy < y:
+		return t.NorthPort()
+	default:
+		return t.SouthPort()
+	}
+}
+
+// fbflyDOR takes one direct hop to the destination column, then one to
+// the destination row, then ejects.
+func fbflyDOR(t *topology.Topology, router, dst int) int {
+	dr := t.NodeRouter[dst]
+	if dr == router {
+		return t.LocalPort(dst)
+	}
+	x, y := t.RouterXY(router)
+	dx, dy := t.RouterXY(dr)
+	if dx != x {
+		return t.XPort(x, dx)
+	}
+	return t.YPort(y, dy)
+}
+
+// Hops returns the number of router-to-router hops a packet from src to
+// dst traverses under route (not counting injection/ejection). It panics
+// if the route does not converge within NumRouters steps, which would
+// indicate a routing bug.
+func Hops(t *topology.Topology, route Func, src, dst int) int {
+	r := t.NodeRouter[src]
+	hops := 0
+	for r != t.NodeRouter[dst] {
+		p := route(t, r, dst)
+		c := t.Conn[r][p]
+		if c.Kind != topology.Link {
+			panic(fmt.Sprintf("routing: route from router %d to node %d chose non-link port %d", r, dst, p))
+		}
+		r = c.PeerRouter
+		hops++
+		if hops > t.NumRouters {
+			panic("routing: route did not converge")
+		}
+	}
+	return hops
+}

@@ -1,0 +1,163 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vix/internal/topology"
+)
+
+func topologies() []*topology.Topology {
+	return []*topology.Topology{
+		topology.NewMesh(8, 8),
+		topology.NewCMesh(4, 4, 4),
+		topology.NewFBfly(4, 4, 4),
+	}
+}
+
+// Every route from every router to every destination must select a port
+// that is actually wired (link or correct local port), and following the
+// route must reach the destination.
+func TestRoutesConvergeEverywhere(t *testing.T) {
+	for _, topo := range topologies() {
+		route := DOR(topo)
+		for src := 0; src < topo.NumNodes; src++ {
+			for dst := 0; dst < topo.NumNodes; dst++ {
+				r := topo.NodeRouter[src]
+				steps := 0
+				for {
+					p := route(topo, r, dst)
+					c := topo.Conn[r][p]
+					if r == topo.NodeRouter[dst] {
+						if c.Kind != topology.Local || c.Node != dst {
+							t.Fatalf("%s: at dst router %d, route gave port %d (%+v), want local port of node %d", topo.Name, r, p, c, dst)
+						}
+						break
+					}
+					if c.Kind != topology.Link {
+						t.Fatalf("%s: router %d -> node %d chose unwired port %d", topo.Name, r, dst, p)
+					}
+					r = c.PeerRouter
+					if steps++; steps > topo.NumRouters {
+						t.Fatalf("%s: route %d -> %d did not converge", topo.Name, src, dst)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Mesh DOR is minimal: hop count equals Manhattan distance.
+func TestMeshDORMinimal(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	route := DOR(topo)
+	for src := 0; src < topo.NumNodes; src += 3 {
+		for dst := 0; dst < topo.NumNodes; dst += 5 {
+			sx, sy := topo.RouterXY(topo.NodeRouter[src])
+			dx, dy := topo.RouterXY(topo.NodeRouter[dst])
+			want := abs(sx-dx) + abs(sy-dy)
+			if got := Hops(topo, route, src, dst); got != want {
+				t.Fatalf("mesh hops %d->%d = %d, want %d", src, dst, got, want)
+			}
+		}
+	}
+}
+
+// FBfly DOR is at most 2 hops (one per dimension).
+func TestFBflyDORAtMostTwoHops(t *testing.T) {
+	topo := topology.NewFBfly(4, 4, 4)
+	route := DOR(topo)
+	prop := func(s, d uint8) bool {
+		src := int(s) % topo.NumNodes
+		dst := int(d) % topo.NumNodes
+		return Hops(topo, route, src, dst) <= 2
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Dimension order: once a mesh route moves in Y it never moves in X
+// again — the invariant that makes X-then-Y deadlock-free.
+func TestMeshDORDimensionOrder(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	route := DOR(topo)
+	for src := 0; src < topo.NumNodes; src += 7 {
+		for dst := 0; dst < topo.NumNodes; dst += 3 {
+			r := topo.NodeRouter[src]
+			inY := false
+			for r != topo.NodeRouter[dst] {
+				p := route(topo, r, dst)
+				c := topo.Conn[r][p]
+				switch c.Dim {
+				case topology.DimX:
+					if inY {
+						t.Fatalf("route %d->%d moved X after Y", src, dst)
+					}
+				case topology.DimY:
+					inY = true
+				}
+				r = c.PeerRouter
+			}
+		}
+	}
+}
+
+// CMesh: nodes sharing a router route directly via the local port with
+// zero hops.
+func TestCMeshIntraRouterDelivery(t *testing.T) {
+	topo := topology.NewCMesh(4, 4, 4)
+	route := DOR(topo)
+	for n := 0; n < topo.NumNodes; n++ {
+		r := topo.NodeRouter[n]
+		sibling := (n/topo.Conc)*topo.Conc + (n+1)%topo.Conc
+		if topo.NodeRouter[sibling] != r {
+			continue
+		}
+		p := route(topo, r, sibling)
+		c := topo.Conn[r][p]
+		if c.Kind != topology.Local || c.Node != sibling {
+			t.Fatalf("intra-router route from router %d to node %d wrong: %+v", r, sibling, c)
+		}
+	}
+}
+
+// Average hop count on an 8x8 mesh under uniform traffic should be close
+// to the analytic (w+h)/3 ≈ 5.33 for w=h=8.
+func TestMeshAverageHops(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	route := DOR(topo)
+	total, pairs := 0, 0
+	for src := 0; src < topo.NumNodes; src++ {
+		for dst := 0; dst < topo.NumNodes; dst++ {
+			if src == dst {
+				continue
+			}
+			total += Hops(topo, route, src, dst)
+			pairs++
+		}
+	}
+	avg := float64(total) / float64(pairs)
+	// Exact uniform mean distance for 8x8 Manhattan grid excluding
+	// self-pairs is 2*(64/3)*(8 - 1/8)/ ... use loose bounds.
+	if avg < 5.0 || avg > 5.7 {
+		t.Fatalf("mesh average hops = %.3f, expected about 5.33", avg)
+	}
+}
+
+func TestDORUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DOR on unknown kind did not panic")
+		}
+	}()
+	bad := &topology.Topology{Kind: "ring"}
+	DOR(bad)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

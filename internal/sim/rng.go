@@ -1,0 +1,117 @@
+// Package sim provides deterministic simulation primitives shared by the
+// VIX network simulator: a fast, reproducible random number generator and
+// small numeric helpers.
+//
+// All stochastic behaviour in the simulator (traffic generation, arbiter
+// tie-breaking randomisation in testbenches, trace synthesis) flows through
+// RNG so that every experiment is exactly reproducible from a seed.
+package sim
+
+import "math"
+
+// RNG is a splitmix64-based pseudo random number generator.
+//
+// splitmix64 passes BigCrush, has a 2^64 period, and is trivially seedable,
+// which makes it well suited for reproducible simulation. RNG is not safe
+// for concurrent use; give each concurrent component its own stream via
+// Fork.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two generators constructed
+// with the same seed produce identical sequences.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Fork derives an independent stream from the generator's seed and the
+// given stream identifier. Forking with distinct stream values yields
+// statistically independent sequences, so per-node or per-core generators
+// can be created without correlating their draws.
+func (r *RNG) Fork(stream uint64) *RNG {
+	// Mix the stream id through one splitmix64 round with a distinct
+	// odd constant so Fork(0) differs from the parent.
+	z := r.state + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &RNG{state: z ^ (z >> 31)}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn called with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and fast.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return hi, lo
+}
+
+// Float64 returns a uniformly distributed float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p. Values of p outside [0, 1]
+// are clamped.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// It is used to space synthetic-trace cache misses.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -mean * math.Log(u)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

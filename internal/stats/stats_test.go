@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEmptySnapshot(t *testing.T) {
+	c := NewCollector(4)
+	s := c.Snapshot()
+	if s.AvgLatency != 0 || s.ThroughputFlits != 0 || s.FairnessRatio != 1 {
+		t.Fatalf("empty snapshot not neutral: %+v", s)
+	}
+}
+
+func TestThroughputAccounting(t *testing.T) {
+	c := NewCollector(2)
+	for i := 0; i < 100; i++ {
+		c.Tick()
+	}
+	for i := 0; i < 40; i++ {
+		c.FlitEjected(i % 2)
+	}
+	s := c.Snapshot()
+	if want := 40.0 / (100 * 2); s.ThroughputFlits != want {
+		t.Fatalf("throughput = %v, want %v", s.ThroughputFlits, want)
+	}
+	if s.FlitsEjected != 40 {
+		t.Fatalf("flits ejected = %d", s.FlitsEjected)
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	c := NewCollector(1)
+	c.PacketEjected(10, 2)
+	c.PacketEjected(30, 4)
+	s := c.Snapshot()
+	if s.AvgLatency != 20 {
+		t.Fatalf("avg latency = %v, want 20", s.AvgLatency)
+	}
+	if s.MaxLatency != 30 {
+		t.Fatalf("max latency = %v, want 30", s.MaxLatency)
+	}
+	if s.AvgHops != 3 {
+		t.Fatalf("avg hops = %v, want 3", s.AvgHops)
+	}
+}
+
+func TestFairnessRatio(t *testing.T) {
+	c := NewCollector(3)
+	c.Tick()
+	for i := 0; i < 6; i++ {
+		c.FlitEjected(0)
+	}
+	for i := 0; i < 2; i++ {
+		c.FlitEjected(1)
+	}
+	for i := 0; i < 3; i++ {
+		c.FlitEjected(2)
+	}
+	if got := c.Snapshot().FairnessRatio; got != 3 {
+		t.Fatalf("fairness = %v, want 3 (6/2)", got)
+	}
+}
+
+func TestFairnessStarvationIsInf(t *testing.T) {
+	c := NewCollector(2)
+	c.Tick()
+	c.FlitEjected(0)
+	if got := c.Snapshot().FairnessRatio; !math.IsInf(got, 1) {
+		t.Fatalf("starved node fairness = %v, want +Inf", got)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	c := NewCollector(2)
+	c.Tick()
+	c.PacketInjected(4)
+	c.FlitEjected(0)
+	c.PacketEjected(12, 3)
+	c.BufferRead()
+	c.BufferWrite()
+	c.XbarTraversal()
+	c.LinkTraversal()
+	c.Reset()
+	s := c.Snapshot()
+	if s.Cycles != 0 || s.FlitsEjected != 0 || s.PacketsInjected != 0 ||
+		s.AvgLatency != 0 || s.BufferReads != 0 || s.LinkTraversals != 0 {
+		t.Fatalf("Reset left state behind: %+v", s)
+	}
+	if s.Nodes != 2 {
+		t.Fatalf("Reset lost node count: %d", s.Nodes)
+	}
+}
+
+func TestActivityCounters(t *testing.T) {
+	c := NewCollector(1)
+	for i := 0; i < 5; i++ {
+		c.BufferRead()
+		c.BufferWrite()
+	}
+	for i := 0; i < 3; i++ {
+		c.XbarTraversal()
+	}
+	c.LinkTraversal()
+	s := c.Snapshot()
+	if s.BufferReads != 5 || s.BufferWrites != 5 || s.XbarTraversals != 3 || s.LinkTraversals != 1 {
+		t.Fatalf("activity counters wrong: %+v", s)
+	}
+}
+
+func TestOutOfRangeSourceIgnored(t *testing.T) {
+	c := NewCollector(2)
+	c.Tick()
+	c.FlitEjected(-1)
+	c.FlitEjected(99)
+	c.FlitEjected(0)
+	c.FlitEjected(1)
+	if got := c.Snapshot().FairnessRatio; got != 1 {
+		t.Fatalf("fairness = %v, want 1", got)
+	}
+	if got := c.Snapshot().FlitsEjected; got != 4 {
+		t.Fatalf("flits = %d, want 4 (totals still count)", got)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	c := NewCollector(1)
+	for i := int64(1); i <= 100; i++ {
+		c.PacketEjected(i, 1)
+	}
+	s := c.Snapshot()
+	if s.P50Latency != 50 {
+		t.Errorf("P50 = %d, want 50", s.P50Latency)
+	}
+	if s.P90Latency != 90 {
+		t.Errorf("P90 = %d, want 90", s.P90Latency)
+	}
+	if s.P99Latency != 99 {
+		t.Errorf("P99 = %d, want 99", s.P99Latency)
+	}
+	if s.P50Latency > s.P90Latency || s.P90Latency > s.P99Latency || s.P99Latency > s.MaxLatency {
+		t.Errorf("percentiles not ordered: %+v", s)
+	}
+}
+
+func TestPercentileSinglePacket(t *testing.T) {
+	c := NewCollector(1)
+	c.PacketEjected(42, 3)
+	s := c.Snapshot()
+	if s.P50Latency != 42 || s.P99Latency != 42 {
+		t.Errorf("single-sample percentiles wrong: %+v", s)
+	}
+}
+
+func TestPercentileUnorderedInput(t *testing.T) {
+	c := NewCollector(1)
+	for _, v := range []int64{90, 10, 50, 30, 70} {
+		c.PacketEjected(v, 1)
+	}
+	s := c.Snapshot()
+	if s.P50Latency != 50 {
+		t.Errorf("P50 of {10..90} = %d, want 50", s.P50Latency)
+	}
+}

@@ -1,0 +1,53 @@
+package timing
+
+// RadixScalingRow evaluates VIX timing feasibility at one router radix:
+// Section 2.4 observes that the crossbar slack shrinks as radix grows and
+// that "VIX architecture may not scale to very high radices unless
+// innovative high-radix switch architectures are utilized". This study
+// locates that frontier with the calibrated models.
+type RadixScalingRow struct {
+	Radix int
+	// Cycle is the router cycle time (max of VA and SA).
+	Cycle float64
+	// XbarBase and XbarVIX are the P x P and 2P x P crossbar delays.
+	XbarBase, XbarVIX float64
+	// SlackBase and SlackVIX are Cycle - Xbar: positive means the
+	// crossbar fits the allocation-stage-limited cycle.
+	SlackBase, SlackVIX float64
+	// Feasible reports whether the VIX crossbar still fits.
+	Feasible bool
+}
+
+// RadixScaling sweeps router radices with the given VCs per port and
+// k = 2 virtual inputs, returning one row per radix.
+func RadixScaling(radices []int, vcs int) []RadixScalingRow {
+	rows := make([]RadixScalingRow, 0, len(radices))
+	for _, p := range radices {
+		cycle := CycleTime(p, vcs)
+		xb := XbarDelay(p, p)
+		xv := XbarDelay(2*p, p)
+		rows = append(rows, RadixScalingRow{
+			Radix:     p,
+			Cycle:     cycle,
+			XbarBase:  xb,
+			XbarVIX:   xv,
+			SlackBase: cycle - xb,
+			SlackVIX:  cycle - xv,
+			Feasible:  xv <= cycle,
+		})
+	}
+	return rows
+}
+
+// VIXFeasibilityFrontier returns the largest radix (scanning 2..64) at
+// which the 2P x P VIX crossbar still fits within the router cycle, with
+// the given VCs per port.
+func VIXFeasibilityFrontier(vcs int) int {
+	last := 0
+	for p := 2; p <= 64; p++ {
+		if XbarDelay(2*p, p) <= CycleTime(p, vcs) {
+			last = p
+		}
+	}
+	return last
+}

@@ -1,0 +1,183 @@
+package timing
+
+import (
+	"math"
+	"testing"
+)
+
+// within reports whether got is within tol (fractional) of want.
+func within(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*want
+}
+
+// The calibrated model must reproduce every published number of Table 1
+// within 2%.
+func TestTable1MatchesPaper(t *testing.T) {
+	paper := []struct {
+		design       string
+		va, sa, xbar float64
+	}{
+		{"Mesh", 300, 280, 167},
+		{"Mesh with VIX", 300, 290, 205},
+		{"CMesh", 340, 315, 205},
+		{"CMesh with VIX", 340, 330, 289},
+		{"FBfly", 360, 340, 238},
+		{"FBfly with VIX", 360, 345, 359},
+	}
+	rows := Table1()
+	if len(rows) != len(paper) {
+		t.Fatalf("Table1 has %d rows, want %d", len(rows), len(paper))
+	}
+	for i, p := range paper {
+		r := rows[i]
+		if r.Design != p.design {
+			t.Errorf("row %d design %q, want %q", i, r.Design, p.design)
+		}
+		if !within(r.VA, p.va, 0.02) {
+			t.Errorf("%s: VA %.1f ps, paper %.0f ps", p.design, r.VA, p.va)
+		}
+		if !within(r.SA, p.sa, 0.02) {
+			t.Errorf("%s: SA %.1f ps, paper %.0f ps", p.design, r.SA, p.sa)
+		}
+		if !within(r.Xbar, p.xbar, 0.02) {
+			t.Errorf("%s: Xbar %.1f ps, paper %.0f ps", p.design, r.Xbar, p.xbar)
+		}
+	}
+}
+
+// The crossbar must have slack in every design: its delay stays below the
+// VA stage (the paper's feasibility argument for VIX).
+func TestCrossbarNeverCritical(t *testing.T) {
+	for _, r := range Table1() {
+		if r.Xbar >= r.VA {
+			t.Errorf("%s: crossbar %.1f ps >= VA %.1f ps", r.Design, r.Xbar, r.VA)
+		}
+	}
+}
+
+// Mesh crossbar with VIX stays within 70% of the cycle time (Section 2.4:
+// "while still remaining within 70% of the router's cycle time").
+func TestMeshVIXCrossbarSlack(t *testing.T) {
+	cycle := CycleTime(5, 6)
+	xbar := XbarDelay(10, 5)
+	if ratio := xbar / cycle; ratio > 0.70 {
+		t.Fatalf("mesh VIX crossbar at %.0f%% of cycle time, paper says within 70%%", ratio*100)
+	}
+}
+
+// Crossbar delay growth quoted in Section 2.4: +22% for mesh, +50% for
+// flattened butterfly.
+func TestCrossbarGrowthRatios(t *testing.T) {
+	mesh := XbarDelay(10, 5) / XbarDelay(5, 5)
+	if mesh < 1.15 || mesh > 1.30 {
+		t.Errorf("mesh crossbar growth %.2fx, paper ~1.22x", mesh)
+	}
+	fbfly := XbarDelay(20, 10) / XbarDelay(10, 10)
+	if fbfly < 1.40 || fbfly > 1.60 {
+		t.Errorf("fbfly crossbar growth %.2fx, paper ~1.50x", fbfly)
+	}
+}
+
+// Table 3: wavefront is about 39% slower than separable, and AP is
+// infeasible.
+func TestTable3(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 3 {
+		t.Fatalf("Table3 has %d rows", len(rows))
+	}
+	sep, wf, ap := rows[0], rows[1], rows[2]
+	if !within(sep.Delay, 280, 0.02) {
+		t.Errorf("separable %.1f ps, paper 280 ps", sep.Delay)
+	}
+	if !within(wf.Delay, 390, 0.02) {
+		t.Errorf("wavefront %.1f ps, paper 390 ps", wf.Delay)
+	}
+	if ratio := wf.Delay / sep.Delay; ratio < 1.35 || ratio > 1.43 {
+		t.Errorf("WF/separable ratio %.3f, paper 1.39", ratio)
+	}
+	if !sep.Feasible || !wf.Feasible {
+		t.Error("separable and wavefront must be feasible")
+	}
+	if ap.Feasible {
+		t.Error("augmented path must be infeasible (Table 3)")
+	}
+	if ap.Delay <= CycleTime(5, 6) {
+		t.Errorf("AP delay estimate %.0f ps not above cycle time", ap.Delay)
+	}
+}
+
+// VA is independent of VIX; SA grows only mildly with VIX (about +10 ps
+// for the mesh), which is the feasibility argument of Section 2.4.
+func TestVIXDelayImpact(t *testing.T) {
+	if VADelay(5, 6) != VADelay(5, 6) {
+		t.Fatal("VA delay must not depend on k")
+	}
+	delta := SADelay(5, 6, 2) - SADelay(5, 6, 1)
+	if delta < 0 || delta > 20 {
+		t.Errorf("mesh SA delta with VIX = %.1f ps, paper ~10 ps", delta)
+	}
+}
+
+// Monotonicity properties of the models.
+func TestDelayMonotonicity(t *testing.T) {
+	for p := 3; p < 16; p++ {
+		if VADelay(p+1, 6) <= VADelay(p, 6) {
+			t.Fatalf("VA not increasing in radix at %d", p)
+		}
+		if SADelay(p+1, 6, 1) <= SADelay(p, 6, 1) {
+			t.Fatalf("SA not increasing in radix at %d", p)
+		}
+		if XbarDelay(p+1, p+1) <= XbarDelay(p, p) {
+			t.Fatalf("Xbar not increasing in size at %d", p)
+		}
+		if WavefrontDelay(p+1, 1) <= WavefrontDelay(p, 1) {
+			t.Fatalf("WF not increasing in radix at %d", p)
+		}
+	}
+}
+
+// Higher radix shrinks the crossbar slack (Section 2.4: VIX "may not
+// scale to very high radices").
+func TestSlackShrinksWithRadix(t *testing.T) {
+	slack := func(p int) float64 { return VADelay(p, 6) - XbarDelay(2*p, p) }
+	if !(slack(5) > slack(8) && slack(8) > slack(10)) {
+		t.Fatalf("slack not shrinking: %v %v %v", slack(5), slack(8), slack(10))
+	}
+}
+
+// Section 2.4's scaling claim: VIX is feasible at the paper's radices
+// (5, 8, 10) but the slack shrinks monotonically and eventually runs
+// out at high radix.
+func TestRadixScaling(t *testing.T) {
+	rows := RadixScaling([]int{5, 8, 10, 16, 24, 32}, 6)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows[:3] {
+		if !r.Feasible {
+			t.Errorf("radix %d: VIX should be feasible (paper evaluates it)", r.Radix)
+		}
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SlackVIX >= rows[i-1].SlackVIX {
+			t.Errorf("VIX slack not shrinking: radix %d slack %.1f >= radix %d slack %.1f",
+				rows[i].Radix, rows[i].SlackVIX, rows[i-1].Radix, rows[i-1].SlackVIX)
+		}
+	}
+	if last := rows[len(rows)-1]; last.Feasible {
+		t.Errorf("radix %d VIX still feasible: the frontier should fall below 32", last.Radix)
+	}
+}
+
+func TestVIXFeasibilityFrontier(t *testing.T) {
+	frontier := VIXFeasibilityFrontier(6)
+	// The paper's highest evaluated radix (10) sits at the boundary:
+	// FBfly VIX crossbar lands essentially exactly on the VA delay.
+	if frontier < 10 || frontier > 16 {
+		t.Fatalf("frontier = %d, expected just past the paper's radix-10 boundary", frontier)
+	}
+	// More VCs per port slow the allocators and buy crossbar slack.
+	if VIXFeasibilityFrontier(8) < frontier {
+		t.Error("more VCs should not shrink the feasibility frontier")
+	}
+}

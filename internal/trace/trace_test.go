@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"vix/internal/sim"
+)
+
+func TestCatalogHas35Benchmarks(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 35 {
+		t.Fatalf("catalog has %d benchmarks, paper studies 35", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, a := range cat {
+		if seen[a.Name] {
+			t.Fatalf("duplicate benchmark %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.L1MPKI < 0 || a.L2MPKI < 0 {
+			t.Fatalf("%s has negative MPKI", a.Name)
+		}
+		if a.L2MPKI > a.L1MPKI {
+			t.Fatalf("%s: L2 misses exceed L1 misses", a.Name)
+		}
+	}
+	// The four commercial workloads must be present.
+	for _, name := range []string{"sap", "tpcw", "sjbb", "sjas"} {
+		if !seen[name] {
+			t.Errorf("commercial workload %q missing", name)
+		}
+	}
+}
+
+// Every Table 4 mix must have 6 unique apps, 64 total instances, and an
+// average MPKI matching the paper's published value within 1%.
+func TestMixesMatchTable4(t *testing.T) {
+	mixes := Mixes()
+	if len(mixes) != 8 {
+		t.Fatalf("%d mixes, want 8", len(mixes))
+	}
+	for _, m := range mixes {
+		if len(m.Entries) != 6 {
+			t.Errorf("%s has %d apps, want 6", m.Name, len(m.Entries))
+		}
+		if m.Cores() != 64 {
+			t.Errorf("%s has %d instances, want 64", m.Name, m.Cores())
+		}
+		seen := map[string]bool{}
+		for _, e := range m.Entries {
+			if seen[e.App] {
+				t.Errorf("%s lists %q twice", m.Name, e.App)
+			}
+			seen[e.App] = true
+			if e.Instances != 10 && e.Instances != 11 {
+				t.Errorf("%s: %q has %d instances, paper uses 10 or 11", m.Name, e.App, e.Instances)
+			}
+		}
+		avg, err := m.AvgMPKI()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(avg-m.PaperMPKI)/m.PaperMPKI > 0.01 {
+			t.Errorf("%s avg MPKI %.2f, paper %.1f", m.Name, avg, m.PaperMPKI)
+		}
+	}
+	// Paper speedups are monotone-ish in MPKI: first below last.
+	if mixes[0].PaperSpeedup >= mixes[7].PaperSpeedup {
+		t.Error("published speedups not increasing from Mix1 to Mix8")
+	}
+}
+
+func TestAssign(t *testing.T) {
+	m := Mixes()[0]
+	apps, err := m.Assign(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 64 {
+		t.Fatalf("assigned %d cores", len(apps))
+	}
+	counts := map[string]int{}
+	for _, a := range apps {
+		counts[a.Name]++
+	}
+	for _, e := range m.Entries {
+		if counts[e.App] != e.Instances {
+			t.Errorf("%s: app %q assigned %d times, want %d", m.Name, e.App, counts[e.App], e.Instances)
+		}
+	}
+	// Round-robin interleaving: the first six cores run six distinct apps.
+	first := map[string]bool{}
+	for _, a := range apps[:6] {
+		first[a.Name] = true
+	}
+	if len(first) != 6 {
+		t.Errorf("first six cores run %d distinct apps, want 6", len(first))
+	}
+	if _, err := m.Assign(63); err == nil {
+		t.Error("Assign with wrong core count accepted")
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MPKI() < 50 {
+		t.Errorf("mcf MPKI %.1f suspiciously low", a.MPKI())
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+// The generator's long-run miss rate matches the app's L1 MPKI and the
+// L2 miss fraction matches L2MPKI/L1MPKI.
+func TestGeneratorRates(t *testing.T) {
+	a, _ := ByName("milc")
+	g := NewGenerator(a, sim.NewRNG(1))
+	var instr float64
+	misses, l2 := 0, 0
+	for instr < 5e6 {
+		gap, isL2 := g.NextMiss()
+		instr += gap
+		misses++
+		if isL2 {
+			l2++
+		}
+	}
+	gotMPKI := float64(misses) / instr * 1000
+	if math.Abs(gotMPKI-a.L1MPKI)/a.L1MPKI > 0.03 {
+		t.Errorf("generated L1 MPKI %.2f, want %.2f", gotMPKI, a.L1MPKI)
+	}
+	gotFrac := float64(l2) / float64(misses)
+	wantFrac := a.L2MPKI / a.L1MPKI
+	if math.Abs(gotFrac-wantFrac) > 0.02 {
+		t.Errorf("L2 miss fraction %.3f, want %.3f", gotFrac, wantFrac)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a, _ := ByName("mcf")
+	g1 := NewGenerator(a, sim.NewRNG(7))
+	g2 := NewGenerator(a, sim.NewRNG(7))
+	for i := 0; i < 1000; i++ {
+		gap1, l21 := g1.NextMiss()
+		gap2, l22 := g2.NextMiss()
+		if gap1 != gap2 || l21 != l22 {
+			t.Fatalf("generators diverged at miss %d", i)
+		}
+	}
+}
+
+func TestGeneratorNeverReturnsSubUnitGap(t *testing.T) {
+	a, _ := ByName("mcf") // highest MPKI stresses the floor
+	g := NewGenerator(a, sim.NewRNG(3))
+	for i := 0; i < 10000; i++ {
+		gap, _ := g.NextMiss()
+		if gap < 1 {
+			t.Fatalf("gap %v below one instruction", gap)
+		}
+	}
+}
+
+func TestZeroMPKIApp(t *testing.T) {
+	g := NewGenerator(App{Name: "idle"}, sim.NewRNG(1))
+	gap, l2 := g.NextMiss()
+	if gap < 1e7 || l2 {
+		t.Fatalf("zero-MPKI app produced miss activity: gap=%v l2=%v", gap, l2)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) != 35 {
+		t.Fatalf("Names() has %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted at %d: %q >= %q", i, names[i-1], names[i])
+		}
+	}
+}
