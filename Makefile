@@ -1,14 +1,33 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench experiments examples clean
+.PHONY: all build vet lint race test bench experiments examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# The full static-analysis gate: vet, gofmt cleanliness, and the repo's
+# own vixlint pass (determinism, allocator contracts, hygiene — see
+# internal/lint). The lint self-check test enforces the same rules under
+# plain `go test ./...`.
+lint: vet
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
+	go run ./cmd/vixlint ./...
+
+# Run the test suite under the race detector. Allocators and routers are
+# documented as not concurrency-safe; this verifies nothing shares them
+# across goroutines by accident.
+race:
+	go test -race ./...
 
 test:
 	go test ./...

@@ -1,0 +1,82 @@
+// Command vixlint runs the simulator's static-analysis pass over the
+// whole module: determinism rules (no wall clock, no global rand, no
+// goroutines, no order-leaking map iteration in internal/), allocator
+// contracts (registry completeness, read-only RequestSets, Kind/Name
+// agreement), and hygiene rules (no printing or anonymous panics in
+// library code). See internal/lint for the rule catalogue and the
+// //vixlint:ordered waiver syntax.
+//
+// Usage:
+//
+//	vixlint [./...]
+//	vixlint -root <module-dir>
+//
+// The analysis is always module-wide; a "./..." argument is accepted for
+// familiarity. vixlint exits 1 when it finds violations, 2 when the
+// module cannot be loaded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vix/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", "", "module root to analyse (default: the module containing the working directory)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vixlint [-root dir] [./...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "." {
+			fmt.Fprintf(os.Stderr, "vixlint: unsupported argument %q (the analysis is always module-wide)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vixlint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	findings, err := lint.Check(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vixlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "vixlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// directory containing go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

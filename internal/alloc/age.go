@@ -21,9 +21,7 @@ type SeparableAge struct {
 // NewSeparableAge returns an oldest-first separable allocator for cfg.
 // It panics if cfg is invalid.
 func NewSeparableAge(cfg Config) *SeparableAge {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
+	mustValidate(cfg)
 	s := &SeparableAge{cfg: cfg}
 	s.inputArbs = make([]arb.Arbiter, cfg.Rows())
 	for i := range s.inputArbs {

@@ -22,6 +22,7 @@ package alloc
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // Partition selects how a port's VCs are divided among its virtual
@@ -69,6 +70,15 @@ func (c Config) Validate() error {
 		return fmt.Errorf("alloc: VirtualInputs (%d) exceeds VCs (%d)", c.VirtualInputs, c.VCs)
 	}
 	return nil
+}
+
+// mustValidate panics when cfg is invalid. Allocator constructors call it
+// so that an impossible crossbar geometry fails loudly at construction
+// time rather than corrupting an allocation later.
+func mustValidate(cfg Config) {
+	if err := cfg.Validate(); err != nil {
+		panic("alloc: invalid config: " + strings.TrimPrefix(err.Error(), "alloc: "))
+	}
 }
 
 // Rows returns the number of crossbar inputs (kP).

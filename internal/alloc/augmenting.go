@@ -27,9 +27,7 @@ type AugmentingPath struct {
 // NewAugmentingPath returns a maximum-matching allocator for cfg. It
 // panics if cfg is invalid.
 func NewAugmentingPath(cfg Config) *AugmentingPath {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
+	mustValidate(cfg)
 	a := &AugmentingPath{
 		cfg:     cfg,
 		adj:     make([][]int, cfg.Rows()),

@@ -45,9 +45,7 @@ func (a *arb2) pick(n int, ok func(i int) bool) int {
 // evaluates chaining on the baseline crossbar (VirtualInputs = 1), but the
 // implementation supports any geometry. It panics if cfg is invalid.
 func NewPacketChaining(cfg Config) *PacketChaining {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
+	mustValidate(cfg)
 	p := &PacketChaining{
 		cfg:     cfg,
 		inner:   NewSeparableIF(cfg),

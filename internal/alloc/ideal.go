@@ -23,9 +23,7 @@ type Ideal struct {
 // NewIdeal returns an ideal allocator for cfg. It panics if cfg is
 // invalid.
 func NewIdeal(cfg Config) *Ideal {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
+	mustValidate(cfg)
 	n := cfg.Ports * cfg.VCs
 	id := &Ideal{
 		cfg:    cfg,

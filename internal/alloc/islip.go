@@ -33,9 +33,7 @@ type ISLIP struct {
 // NewISLIP returns an iSLIP allocator running the given number of
 // iterations (clamped to at least 1). It panics if cfg is invalid.
 func NewISLIP(cfg Config, iterations int) *ISLIP {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
+	mustValidate(cfg)
 	if iterations < 1 {
 		iterations = 1
 	}

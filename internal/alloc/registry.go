@@ -1,6 +1,9 @@
 package alloc
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Kind names a switch-allocation scheme from the paper's evaluation.
 type Kind string
@@ -102,7 +105,7 @@ func New(kind Kind, cfg Config) (Allocator, error) {
 func MustNew(kind Kind, cfg Config) Allocator {
 	a, err := New(kind, cfg)
 	if err != nil {
-		panic(err)
+		panic("alloc: MustNew: " + strings.TrimPrefix(err.Error(), "alloc: "))
 	}
 	return a
 }

@@ -30,9 +30,7 @@ type SeparableIF struct {
 // NewSeparableIF returns a separable input-first allocator for cfg.
 // It panics if cfg is invalid.
 func NewSeparableIF(cfg Config) *SeparableIF {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
+	mustValidate(cfg)
 	s := &SeparableIF{
 		cfg:       cfg,
 		slotReq:   make([]bool, cfg.GroupSize()),
@@ -50,13 +48,10 @@ func NewSeparableIF(cfg Config) *SeparableIF {
 	return s
 }
 
-// Name implements Allocator.
-func (s *SeparableIF) Name() string {
-	if s.cfg.VirtualInputs > 1 {
-		return "vix-if"
-	}
-	return "if"
-}
+// Name implements Allocator. The name is the registry Kind ("if")
+// regardless of geometry; whether the crossbar is a VIX one is carried by
+// Config.VirtualInputs, not by the allocator's identity.
+func (s *SeparableIF) Name() string { return "if" }
 
 // Reset implements Allocator.
 func (s *SeparableIF) Reset() {

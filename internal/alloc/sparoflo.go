@@ -32,9 +32,7 @@ type Sparoflo struct {
 // defined on the conventional crossbar; VirtualInputs is ignored for
 // grant geometry (grants always report the k=1 row mapping of cfg).
 func NewSparoflo(cfg Config) *Sparoflo {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
+	mustValidate(cfg)
 	s := &Sparoflo{cfg: cfg, exposed: 2}
 	if cfg.VCs < 2 {
 		s.exposed = 1

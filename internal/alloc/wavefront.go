@@ -33,9 +33,7 @@ type Wavefront struct {
 // NewWavefront returns a wavefront allocator for cfg. It panics if cfg is
 // invalid.
 func NewWavefront(cfg Config) *Wavefront {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
+	mustValidate(cfg)
 	w := &Wavefront{
 		cfg:     cfg,
 		rowBusy: make([]bool, cfg.Rows()),

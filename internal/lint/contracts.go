@@ -1,0 +1,404 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// contracts runs the allocator-contract family over an alloc registry
+// package: every Kind constant must be listed in Kinds(), constructable
+// through New, implemented by a type satisfying Allocator, and that
+// type's Name() must return the Kind's string.
+func (c *checker) contracts() []Finding {
+	var fs []Finding
+	kinds := c.kindConstants()
+	if len(kinds) == 0 {
+		return nil
+	}
+	listed := c.kindsListed()
+	cases := c.newSwitchCases()
+	for _, k := range kinds {
+		if !listed[k.name] {
+			c.report(&fs, k.pos, "contracts/registry",
+				"allocator kind %s (%q) is not returned by Kinds(); sweeps and the CLI will never see it", k.name, k.value)
+		}
+		if _, ok := cases[k.name]; !ok {
+			c.report(&fs, k.pos, "contracts/registry",
+				"allocator kind %s (%q) has no constructor case in New", k.name, k.value)
+		}
+	}
+	c.checkConstructors(&fs, kinds, cases)
+	return fs
+}
+
+// kindConst is one package-level constant of the named type Kind.
+type kindConst struct {
+	name  string
+	value string
+	pos   token.Pos
+}
+
+// kindConstants collects the package-level Kind constants via the type
+// checker, sorted by name for deterministic reporting.
+func (c *checker) kindConstants() []kindConst {
+	var ks []kindConst
+	scope := c.pkg.Types.Scope()
+	names := scope.Names() // already sorted
+	for _, n := range names {
+		cn, ok := scope.Lookup(n).(*types.Const)
+		if !ok {
+			continue
+		}
+		named, ok := cn.Type().(*types.Named)
+		if !ok || named.Obj().Name() != "Kind" || named.Obj().Pkg() != c.pkg.Types {
+			continue
+		}
+		if cn.Val().Kind() != constant.String {
+			continue
+		}
+		ks = append(ks, kindConst{name: n, value: constant.StringVal(cn.Val()), pos: cn.Pos()})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].name < ks[j].name })
+	return ks
+}
+
+// kindsListed returns the set of Kind constant names appearing in the
+// Kinds() function's return values.
+func (c *checker) kindsListed() map[string]bool {
+	listed := make(map[string]bool)
+	fn := c.funcDecl("Kinds")
+	if fn == nil {
+		return listed
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			listed[id.Name] = true
+		}
+		return true
+	})
+	return listed
+}
+
+// newSwitchCases maps each Kind constant cased in New's kind switch to
+// the case clause handling it.
+func (c *checker) newSwitchCases() map[string]*ast.CaseClause {
+	cases := make(map[string]*ast.CaseClause)
+	fn := c.funcDecl("New")
+	if fn == nil {
+		return cases
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok {
+			return true
+		}
+		for _, stmt := range sw.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				if id, ok := e.(*ast.Ident); ok {
+					cases[id.Name] = cc
+				}
+			}
+		}
+		return true
+	})
+	return cases
+}
+
+// checkConstructors verifies, per cased Kind, that the constructor called
+// in the case returns a concrete type implementing Allocator whose Name
+// method returns exactly the Kind's string constant.
+func (c *checker) checkConstructors(fs *[]Finding, kinds []kindConst, cases map[string]*ast.CaseClause) {
+	allocIface := c.allocatorInterface()
+	for _, k := range kinds {
+		cc, ok := cases[k.name]
+		if !ok {
+			continue
+		}
+		ctor, typ := c.constructedType(cc)
+		if typ == nil {
+			continue // e.g. a case delegating to another registry; nothing to pin down
+		}
+		if allocIface != nil && !types.Implements(typ, allocIface) &&
+			!types.Implements(types.NewPointer(typ), allocIface) {
+			c.report(fs, ctor.Pos(), "contracts/impl",
+				"constructor for kind %s returns %s, which does not implement Allocator", k.name, typ)
+			continue
+		}
+		c.checkNameMethod(fs, k, typ)
+	}
+}
+
+// allocatorInterface returns the package's Allocator interface type.
+func (c *checker) allocatorInterface() *types.Interface {
+	obj, ok := c.pkg.Types.Scope().Lookup("Allocator").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	return iface
+}
+
+// constructedType resolves the concrete allocator type a New case
+// constructs by finding the `return NewX(...)` call in the clause body
+// and taking the constructor's first result type.
+func (c *checker) constructedType(cc *ast.CaseClause) (ast.Node, types.Type) {
+	var ctor ast.Node
+	var typ types.Type
+	ast.Inspect(&ast.BlockStmt{List: cc.Body}, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return true
+		}
+		call, ok := ret.Results[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn, ok := c.pkg.Info.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() != c.pkg.Types {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Results().Len() == 0 {
+			return true
+		}
+		res := sig.Results().At(0).Type()
+		if ptr, isPtr := res.(*types.Pointer); isPtr {
+			res = ptr.Elem()
+		}
+		if _, isNamed := res.(*types.Named); isNamed {
+			ctor, typ = call, res
+			return false
+		}
+		return true
+	})
+	return ctor, typ
+}
+
+// checkNameMethod verifies that typ's Name method consists of returns of
+// one string constant equal to the kind's value. A conditional or
+// computed Name breaks the Kind <-> Name correspondence experiments key
+// their result tables on.
+func (c *checker) checkNameMethod(fs *[]Finding, k kindConst, typ types.Type) {
+	named, ok := typ.(*types.Named)
+	if !ok {
+		return
+	}
+	decl := c.methodDecl(named.Obj().Name(), "Name")
+	if decl == nil {
+		return // interface satisfaction already checked under contracts/impl
+	}
+	var rets []*ast.ReturnStmt
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			rets = append(rets, ret)
+		}
+		return true
+	})
+	if len(rets) != 1 {
+		c.report(fs, decl.Pos(), "contracts/name",
+			"%s.Name has %d return statements; it must return the single string constant %q matching its Kind",
+			named.Obj().Name(), len(rets), k.value)
+		return
+	}
+	ret := rets[0]
+	bad := len(ret.Results) != 1
+	var got string
+	if !bad {
+		tv, ok := c.pkg.Info.Types[ret.Results[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			bad = true
+		} else {
+			got = constant.StringVal(tv.Value)
+		}
+	}
+	if bad {
+		c.report(fs, ret.Pos(), "contracts/name",
+			"%s.Name must return a string constant (want %q, matching its Kind)", named.Obj().Name(), k.value)
+		return
+	}
+	if got != k.value {
+		c.report(fs, ret.Pos(), "contracts/name",
+			"%s.Name returns %q but its Kind %s is %q; the registry name and the reported name must agree",
+			named.Obj().Name(), got, k.name, k.value)
+	}
+}
+
+// funcDecl returns the package-level function declaration with the given
+// name, or nil.
+func (c *checker) funcDecl(name string) *ast.FuncDecl {
+	var out *ast.FuncDecl
+	c.eachFunc(func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Recv == nil && fd.Name.Name == name {
+			out = fd
+		}
+	})
+	return out
+}
+
+// methodDecl returns the declaration of recvType's method with the given
+// name, or nil.
+func (c *checker) methodDecl(recvType, name string) *ast.FuncDecl {
+	var out *ast.FuncDecl
+	c.eachFunc(func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Name.Name != name {
+			return
+		}
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok && id.Name == recvType {
+			out = fd
+		}
+	})
+	return out
+}
+
+// mutations runs contracts/mutate over every package: any function with a
+// *RequestSet parameter (from an internal/alloc package) must treat the
+// set as read-only.
+func (c *checker) mutations() []Finding {
+	var fs []Finding
+	c.eachFunc(func(_ *ast.File, fd *ast.FuncDecl) {
+		for _, param := range requestSetParams(c.pkg, fd) {
+			c.checkReadOnly(&fs, fd, param)
+		}
+	})
+	return fs
+}
+
+// requestSetParams returns the objects of fd's parameters whose type is
+// *RequestSet from an internal/alloc package.
+func requestSetParams(pkg *Package, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			v, ok := pkg.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			ptr, ok := v.Type().(*types.Pointer)
+			if !ok {
+				continue
+			}
+			named, ok := ptr.Elem().(*types.Named)
+			if !ok || named.Obj().Name() != "RequestSet" || named.Obj().Pkg() == nil ||
+				!strings.HasSuffix(named.Obj().Pkg().Path(), "internal/alloc") {
+				continue
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// checkReadOnly flags writes to param's Requests (or the set itself)
+// inside fd: assignments through the parameter, append on rs.Requests,
+// and in-place sorts.
+func (c *checker) checkReadOnly(fs *[]Finding, fd *ast.FuncDecl, param *types.Var) {
+	reaches := func(e ast.Expr) bool { return c.touchesRequests(e, param) }
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if reaches(lhs) || c.derefsParam(lhs, param) {
+					c.report(fs, n.Pos(), "contracts/mutate",
+						"%s must not mutate the request set through %s: callers own and reuse it across allocators",
+						fd.Name.Name, param.Name())
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if reaches(n.X) {
+				c.report(fs, n.Pos(), "contracts/mutate",
+					"%s must not mutate the request set through %s: callers own and reuse it across allocators",
+					fd.Name.Name, param.Name())
+				return false
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := c.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					for _, arg := range n.Args {
+						if reaches(arg) {
+							c.report(fs, n.Pos(), "contracts/mutate",
+								"%s must not append to %s.Requests: append may write the caller's backing array in place",
+								fd.Name.Name, param.Name())
+							return false
+						}
+					}
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := c.pkg.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+					p := fn.Pkg().Path()
+					if p == "sort" || p == "slices" {
+						for _, arg := range n.Args {
+							if reaches(arg) {
+								c.report(fs, n.Pos(), "contracts/mutate",
+									"%s must not sort %s.Requests in place: allocators observe the caller's request order",
+									fd.Name.Name, param.Name())
+								return false
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// touchesRequests reports whether expr contains a selection of the
+// Requests field on the given parameter (rs.Requests, rs.Requests[i],
+// rs.Requests[i].Age, &rs.Requests, ...).
+func (c *checker) touchesRequests(expr ast.Expr, param *types.Var) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Requests" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && c.pkg.Info.Uses[id] == param {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// derefsParam reports whether lhs assigns through the parameter pointer
+// itself (*rs = ... or rs.Field = ...).
+func (c *checker) derefsParam(lhs ast.Expr, param *types.Var) bool {
+	switch x := lhs.(type) {
+	case *ast.ParenExpr:
+		return c.derefsParam(x.X, param)
+	case *ast.StarExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			return c.pkg.Info.Uses[id] == param
+		}
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			return c.pkg.Info.Uses[id] == param
+		}
+	}
+	return false
+}

@@ -1,0 +1,209 @@
+// Package lint implements vixlint, the simulator's own static-analysis
+// pass. It is built from scratch on the standard library's go/parser,
+// go/ast, go/token and go/types packages (no golang.org/x/tools) and
+// enforces the invariants the simulator's reproducibility story depends
+// on. Three analyzer families run over every non-test package of the
+// module:
+//
+// Determinism (internal/* only). Every experiment must be exactly
+// reproducible from a seed, with all randomness flowing through sim.RNG:
+//
+//   - determinism/time: no calls to time.Now or time.Since; simulated
+//     time is the only clock.
+//   - determinism/rand: no imports of math/rand or math/rand/v2; the
+//     global generator is seeded per-process, not per-experiment.
+//   - determinism/goroutine: no go statements; goroutine interleaving is
+//     a scheduler decision, not a seed decision.
+//   - determinism/maprange: no for-range over a map whose body writes to
+//     state declared outside the loop; Go randomises map iteration order
+//     per run, so such writes leak nondeterminism into results.
+//
+// A determinism finding on a line carrying (or immediately preceded by) a
+// "//vixlint:ordered <justification>" comment is waived; the
+// justification text is mandatory (rule determinism/waiver).
+//
+// Allocator contracts (packages named alloc under internal/):
+//
+//   - contracts/registry: every Kind constant must appear in the Kinds()
+//     list and have a constructor case in New.
+//   - contracts/impl: the concrete type New constructs for a Kind must
+//     implement Allocator.
+//   - contracts/name: that type's Name method must return a single string
+//     constant equal to the Kind's value.
+//   - contracts/mutate: no function taking a *RequestSet parameter may
+//     mutate the set through it — no assigning to rs.Requests or its
+//     elements, no append(rs.Requests, ...), no sorting it in place.
+//     RequestSets are owned by the caller and reused across allocators;
+//     mutation corrupts every comparison downstream.
+//
+// Hygiene (internal/* only; cmd/ and examples/ may print):
+//
+//   - hygiene/print: no fmt.Print/Printf/Println, no references to
+//     os.Stdout or os.Stderr, no builtin print/println. Library code
+//     returns values; commands do the talking.
+//   - hygiene/panic: panic arguments must carry a constant message
+//     prefixed with the package name ("alloc: ...", "router %d: ...") so
+//     a crash names its origin; panic(err) and other opaque values are
+//     rejected.
+//
+// Findings are reported as "file:line: rule: message". The pass is run by
+// cmd/vixlint and by the self-check test in this package, which makes
+// `go test ./...` fail on any new violation.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"vix/internal/sim"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos  token.Position // file, line, column
+	Rule string         // e.g. "determinism/time"
+	Msg  string
+}
+
+// String formats the finding as "file:line: rule: message".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Check loads the module rooted at root and runs every analyzer family,
+// returning findings sorted by file and line.
+func Check(root string) ([]Finding, error) {
+	mod, err := Load(root)
+	if err != nil {
+		return nil, err
+	}
+	return CheckModule(mod), nil
+}
+
+// CheckModule runs every analyzer family over an already-loaded module.
+func CheckModule(mod *Module) []Finding {
+	var fs []Finding
+	for _, pkg := range mod.Packages() {
+		c := &checker{mod: mod, pkg: pkg, waivers: collectWaivers(mod, pkg)}
+		if isInternal(pkg.Path) {
+			fs = append(fs, c.determinism()...)
+			fs = append(fs, c.hygiene()...)
+		}
+		if isAllocPackage(pkg) {
+			fs = append(fs, c.contracts()...)
+		}
+		fs = append(fs, c.mutations()...)
+		fs = append(fs, c.waiverHygiene()...)
+	}
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return fs
+}
+
+// isInternal reports whether the import path is an internal library
+// package (subject to the determinism and hygiene families).
+func isInternal(path string) bool {
+	return strings.Contains(path, "/internal/") || strings.HasSuffix(path, "/internal")
+}
+
+// isAllocPackage reports whether pkg is an allocator-registry package
+// (subject to the contracts family).
+func isAllocPackage(pkg *Package) bool {
+	return pkg.Name == "alloc" && strings.HasSuffix(pkg.Path, "internal/alloc")
+}
+
+// checker carries per-package analysis state.
+type checker struct {
+	mod     *Module
+	pkg     *Package
+	waivers map[string]map[int]string // file -> line -> justification ("" = missing)
+}
+
+// report appends a finding at pos.
+func (c *checker) report(fs *[]Finding, pos token.Pos, rule, format string, args ...any) {
+	*fs = append(*fs, Finding{
+		Pos:  c.mod.Fset.Position(pos),
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// waiverDirective is the comment marker that suppresses determinism
+// findings on its line (or the line directly below the comment).
+const waiverDirective = "//vixlint:ordered"
+
+// collectWaivers scans a package's comments for waiver directives.
+func collectWaivers(mod *Module, pkg *Package) map[string]map[int]string {
+	ws := make(map[string]map[int]string)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, cm := range cg.List {
+				rest, ok := strings.CutPrefix(cm.Text, waiverDirective)
+				if !ok {
+					continue
+				}
+				pos := mod.Fset.Position(cm.Pos())
+				if ws[pos.Filename] == nil {
+					ws[pos.Filename] = make(map[int]string)
+				}
+				ws[pos.Filename][pos.Line] = strings.TrimSpace(rest)
+			}
+		}
+	}
+	return ws
+}
+
+// waived reports whether a determinism finding at pos is covered by a
+// waiver on the same line or the line immediately above.
+func (c *checker) waived(pos token.Pos) bool {
+	p := c.mod.Fset.Position(pos)
+	lines := c.waivers[p.Filename]
+	if lines == nil {
+		return false
+	}
+	_, same := lines[p.Line]
+	_, above := lines[p.Line-1]
+	return same || above
+}
+
+// waiverHygiene reports waiver directives that lack a justification.
+// A waiver is an auditable exception; "because" is not an audit trail.
+func (c *checker) waiverHygiene() []Finding {
+	var fs []Finding
+	for _, file := range c.pkg.Files {
+		name := c.mod.Fset.Position(file.Pos()).Filename
+		for _, line := range sim.SortedKeys(c.waivers[name]) {
+			if c.waivers[name][line] == "" {
+				fs = append(fs, Finding{
+					Pos:  token.Position{Filename: name, Line: line},
+					Rule: "determinism/waiver",
+					Msg:  "vixlint:ordered waiver needs a justification explaining why iteration order cannot leak into results",
+				})
+			}
+		}
+	}
+	return fs
+}
+
+// eachFunc invokes fn for every function and method declaration with a
+// body in the package.
+func (c *checker) eachFunc(fn func(file *ast.File, decl *ast.FuncDecl)) {
+	for _, file := range c.pkg.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(file, fd)
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vix/internal/lint"
+)
+
+// repoRoot locates the module root above this package's directory.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test's working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsLintClean runs every vixlint analyzer over the repository's
+// own source, so `go test ./...` — the tier-1 gate — fails the moment a
+// change reintroduces wall-clock reads, global randomness, order-leaking
+// map iteration, allocator-contract violations, or library-code printing.
+// This is the same analysis `make lint` (cmd/vixlint) runs.
+func TestRepoIsLintClean(t *testing.T) {
+	findings, err := lint.Check(repoRoot(t))
+	if err != nil {
+		t.Fatalf("lint.Check: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("fix the findings or, for provably order-independent map iteration, add a justified //vixlint:ordered waiver (see package lint docs)")
+	}
+}
+
+// TestRepoTypeChecks asserts the analysis ran with full type information:
+// analyzer fallbacks exist for broken code, but the repo itself must
+// type-check cleanly or rules like determinism/maprange lose their teeth.
+func TestRepoTypeChecks(t *testing.T) {
+	mod, err := lint.Load(repoRoot(t))
+	if err != nil {
+		t.Fatalf("lint.Load: %v", err)
+	}
+	if len(mod.Pkgs) < 20 {
+		t.Errorf("loaded only %d packages; expected the full module (loader discovery broke?)", len(mod.Pkgs))
+	}
+	for _, pkg := range mod.Packages() {
+		for _, e := range pkg.TypeErrs {
+			t.Errorf("%s: type error: %v", pkg.Path, e)
+		}
+	}
+}

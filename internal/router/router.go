@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"strings"
 
 	"vix/internal/alloc"
 	"vix/internal/topology"
@@ -116,7 +117,7 @@ type Router struct {
 // (symmetric in/out). The allocator must match cfg.Alloc() geometry.
 func New(id int, cfg Config, ports []PortInfo, allocator alloc.Allocator, nextDim NextDimFunc) *Router {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		panic("router: invalid config: " + strings.TrimPrefix(err.Error(), "router: "))
 	}
 	if len(ports) != cfg.Ports {
 		panic(fmt.Sprintf("router: %d port infos for %d ports", len(ports), cfg.Ports))

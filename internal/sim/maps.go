@@ -1,0 +1,26 @@
+package sim
+
+import "sort"
+
+// ordered covers the key types simulation maps use. (cmp.Ordered minus
+// the float and string-alias cases we have no use for would be shorter,
+// but mirroring the stdlib constraint keeps the helper unsurprising.)
+type ordered interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr |
+		~float32 | ~float64 | ~string
+}
+
+// SortedKeys returns m's keys in ascending order. Go randomises map
+// iteration order per run, so ranging over a map is forbidden in
+// simulation code whenever order can reach results (vixlint rule
+// determinism/maprange); iterating SortedKeys(m) is the blessed
+// deterministic alternative.
+func SortedKeys[K ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m { //vixlint:ordered keys are sorted below before being returned
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

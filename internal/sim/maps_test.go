@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	if got, want := SortedKeys(m), []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SortedKeys = %v, want %v", got, want)
+	}
+	ints := map[int]struct{}{9: {}, -3: {}, 4: {}}
+	if got, want := SortedKeys(ints), []int{-3, 4, 9}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SortedKeys = %v, want %v", got, want)
+	}
+	if got := SortedKeys(map[uint64]bool(nil)); len(got) != 0 {
+		t.Errorf("SortedKeys(nil) = %v, want empty", got)
+	}
+}
+
+func TestSortedKeysIsDeterministic(t *testing.T) {
+	m := make(map[int]int)
+	for i := 0; i < 1000; i++ {
+		m[i*7919%1000] = i
+	}
+	first := SortedKeys(m)
+	for run := 0; run < 10; run++ {
+		if !reflect.DeepEqual(SortedKeys(m), first) {
+			t.Fatal("SortedKeys order varied between calls")
+		}
+	}
+	if len(first) != 1000 || first[0] != 0 || first[999] != 999 {
+		t.Fatalf("unexpected key set: len=%d first=%d last=%d", len(first), first[0], first[len(first)-1])
+	}
+}
