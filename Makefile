@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint race test bench experiments examples clean
+.PHONY: all build vet lint race test bench bench-json sweep experiments examples clean
 
 all: build vet lint test
 
@@ -35,6 +35,19 @@ test:
 # Regenerate every table and figure at benchmark scale.
 bench:
 	go test -bench=. -benchmem .
+
+# A small harness-backed sweep grid under the race detector: exercises
+# the parallel fan-out, manifest resume, and canonical merge end to end.
+sweep:
+	go run -race ./cmd/sweep -schemes if:1,if:2 -rates 0.02,0.05 \
+		-parallel 4 -v -o /tmp/vix_sweep.csv
+	@echo "wrote /tmp/vix_sweep.csv"
+
+# Benchmark the harness itself: serial vs parallel wall time over the
+# Figure 8 grid, recorded to BENCH_harness.json for the perf trajectory.
+bench-json:
+	go run ./cmd/harnessbench -o BENCH_harness.json
+	@cat BENCH_harness.json
 
 # Regenerate every table and figure at full scale (minutes).
 experiments:

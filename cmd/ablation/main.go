@@ -3,33 +3,52 @@
 // traffic (Section 2.3), VC-to-sub-group partition, router pipeline
 // depth, a fine-grained virtual-input sweep, and the extended allocator
 // set (including iSLIP and SPAROFLO from the paper's citations and
-// related work).
+// related work). Each study's grid fans out across -parallel workers
+// via internal/harness; -resume checkpoints completed points so an
+// interrupted study reruns only what is missing.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"vix/internal/alloc"
 	"vix/internal/experiments"
+	"vix/internal/harness"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ablation: ")
 	var (
-		warmup  = flag.Int("warmup", 1500, "warmup cycles")
-		measure = flag.Int("measure", 5000, "measurement cycles")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		study   = flag.String("study", "all", "which study: policies, partition, pipeline, speculation, ksweep, allocators, or all")
+		warmup   = flag.Int("warmup", 1500, "warmup cycles")
+		measure  = flag.Int("measure", 5000, "measurement cycles")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		study    = flag.String("study", "all", "which study: policies, partition, pipeline, speculation, ksweep, allocators, or all")
+		parallel = flag.Int("parallel", 0, "worker count (default GOMAXPROCS)")
+		resume   = flag.String("resume", "", "JSONL manifest: checkpoint completed points and skip them on rerun")
+		verbose  = flag.Bool("v", false, "log per-point telemetry (wall time, cycles/sec) to stderr")
 	)
 	flag.Parse()
 
 	p := experiments.DefaultParams()
 	p.Warmup, p.Measure, p.Seed = *warmup, *measure, *seed
+	ctx := context.Background()
+	opt := harness.Options{Parallel: *parallel, Manifest: *resume}
+	if *verbose {
+		opt.OnDone = func(r harness.Result) {
+			if r.Cached {
+				log.Printf("%s: cached (manifest)", r.Name)
+				return
+			}
+			log.Printf("%s: %v (%.0f cycles/sec)", r.Name, r.Telemetry.Duration().Round(time.Millisecond), r.Telemetry.CyclesPerSec)
+		}
+	}
 
 	run := func(name string, fn func() error) {
 		if *study != "all" && *study != name {
@@ -42,7 +61,7 @@ func main() {
 	}
 
 	run("policies", func() error {
-		rows, err := experiments.AblatePolicies(p, nil)
+		rows, err := experiments.AblatePoliciesOpt(ctx, p, nil, opt)
 		if err != nil {
 			return err
 		}
@@ -56,7 +75,7 @@ func main() {
 	})
 
 	run("partition", func() error {
-		rows, err := experiments.AblatePartition(p)
+		rows, err := experiments.AblatePartitionOpt(ctx, p, opt)
 		if err != nil {
 			return err
 		}
@@ -74,7 +93,7 @@ func main() {
 	})
 
 	run("pipeline", func() error {
-		rows, err := experiments.AblatePipeline(p, 0.05)
+		rows, err := experiments.AblatePipelineOpt(ctx, p, 0.05, opt)
 		if err != nil {
 			return err
 		}
@@ -88,7 +107,7 @@ func main() {
 	})
 
 	run("speculation", func() error {
-		rows, err := experiments.AblateSpeculation(p, 0.05)
+		rows, err := experiments.AblateSpeculationOpt(ctx, p, 0.05, opt)
 		if err != nil {
 			return err
 		}
@@ -106,7 +125,7 @@ func main() {
 	})
 
 	run("ksweep", func() error {
-		rows, err := experiments.AblateVirtualInputs(p)
+		rows, err := experiments.AblateVirtualInputsOpt(ctx, p, opt)
 		if err != nil {
 			return err
 		}
@@ -121,7 +140,7 @@ func main() {
 	})
 
 	run("allocators", func() error {
-		rows, err := experiments.AblateAllocators(p)
+		rows, err := experiments.AblateAllocatorsOpt(ctx, p, opt)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,116 @@
+// Command harnessbench measures the experiment harness's wall-clock
+// throughput: it runs the same simulation grid serially and with a full
+// worker pool, then emits a JSON record (BENCH_harness.json) with wall
+// times, aggregate cycles/sec, and the speedup — the seed of the repo's
+// performance trajectory. The merged results of the two runs are also
+// compared, re-asserting the byte-identical-across-workers guarantee on
+// every benchmark run.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"vix/internal/experiments"
+	"vix/internal/harness"
+)
+
+// report is the BENCH_harness.json schema.
+type report struct {
+	Grid           string  `json:"grid"`
+	Jobs           int     `json:"jobs"`
+	CyclesPerJob   int64   `json:"cycles_per_job"`
+	CPUs           int     `json:"cpus"`
+	Workers        int     `json:"workers"`
+	SerialNanos    int64   `json:"serial_wall_ns"`
+	ParallelNanos  int64   `json:"parallel_wall_ns"`
+	Speedup        float64 `json:"speedup"`
+	SerialCycSec   float64 `json:"serial_cycles_per_sec"`
+	ParallelCycSec float64 `json:"parallel_cycles_per_sec"`
+	Identical      bool    `json:"merged_output_identical"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("harnessbench: ")
+	var (
+		out     = flag.String("o", "BENCH_harness.json", "output file (\"-\" for stdout)")
+		warmup  = flag.Int("warmup", 1000, "warmup cycles per point")
+		measure = flag.Int("measure", 3000, "measurement cycles per point")
+		workers = flag.Int("parallel", 0, "parallel worker count (default GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	p.Warmup, p.Measure = *warmup, *measure
+	rates := []float64{0.02, 0.04, 0.06, 0.08}
+	grid := experiments.Figure8Grid(p, rates)
+
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	serialOut, serialNs, err := timedRun(p, grid, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parallelOut, parallelNs, err := timedRun(p, grid, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	totalCycles := int64(len(grid)) * int64(p.Warmup+p.Measure)
+	r := report{
+		Grid:           fmt.Sprintf("fig8: %d schemes x (%d rates + saturation), 8x8 mesh", len(experiments.NetworkSchemes()), len(rates)),
+		Jobs:           len(grid),
+		CyclesPerJob:   int64(p.Warmup + p.Measure),
+		CPUs:           runtime.NumCPU(),
+		Workers:        *workers,
+		SerialNanos:    serialNs,
+		ParallelNanos:  parallelNs,
+		Speedup:        float64(serialNs) / float64(parallelNs),
+		SerialCycSec:   float64(totalCycles) / (float64(serialNs) / 1e9),
+		ParallelCycSec: float64(totalCycles) / (float64(parallelNs) / 1e9),
+		Identical:      bytes.Equal(serialOut, parallelOut),
+	}
+	if !r.Identical {
+		log.Fatal("merged output differs between serial and parallel runs — determinism regression")
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("%d jobs: serial %v, parallel(%d) %v, speedup %.2fx on %d CPU(s)",
+		r.Jobs, time.Duration(serialNs).Round(time.Millisecond),
+		r.Workers, time.Duration(parallelNs).Round(time.Millisecond), r.Speedup, r.CPUs)
+}
+
+// timedRun executes the grid with the given worker count and returns the
+// merged results as canonical bytes plus the wall time.
+func timedRun(p experiments.Params, grid []experiments.GridPoint, workers int) ([]byte, int64, error) {
+	start := time.Now()
+	snaps, err := experiments.RunGrid(context.Background(), p.Seed, grid, harness.Options{Parallel: workers})
+	if err != nil {
+		return nil, 0, err
+	}
+	elapsed := time.Since(start)
+	data, err := json.Marshal(snaps)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, elapsed.Nanoseconds(), nil
+}

@@ -1,17 +1,22 @@
 // Command loadsweep regenerates Figure 8: average packet latency and
 // accepted throughput versus offered load for the 8x8 mesh under the four
 // switch allocation schemes (IF, WF, AP, VIX), plus a saturation point
-// per scheme.
+// per scheme. The 40-point grid fans out across -parallel workers via
+// internal/harness; -resume checkpoints completed points to a JSONL
+// manifest so an interrupted sweep picks up where it stopped.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"vix/internal/experiments"
+	"vix/internal/harness"
 	"vix/internal/plot"
 )
 
@@ -23,12 +28,25 @@ func main() {
 		measure  = flag.Int("measure", 8000, "measurement cycles")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		showPlot = flag.Bool("plot", false, "render ASCII latency and throughput charts")
+		parallel = flag.Int("parallel", 0, "worker count (default GOMAXPROCS)")
+		resume   = flag.String("resume", "", "JSONL manifest: checkpoint completed points and skip them on rerun")
+		verbose  = flag.Bool("v", false, "log per-point telemetry (wall time, cycles/sec) to stderr")
 	)
 	flag.Parse()
 
 	p := experiments.DefaultParams()
 	p.Warmup, p.Measure, p.Seed = *warmup, *measure, *seed
-	pts, err := experiments.Figure8(p, nil)
+	opt := harness.Options{Parallel: *parallel, Manifest: *resume}
+	if *verbose {
+		opt.OnDone = func(r harness.Result) {
+			if r.Cached {
+				log.Printf("%s: cached (manifest)", r.Name)
+				return
+			}
+			log.Printf("%s: %v (%.0f cycles/sec)", r.Name, r.Telemetry.Duration().Round(time.Millisecond), r.Telemetry.CyclesPerSec)
+		}
+	}
+	pts, err := experiments.Figure8Opt(context.Background(), p, nil, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

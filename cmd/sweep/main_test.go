@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vix/internal/config"
+	"vix/internal/harness"
+)
+
+// testBase shrinks the simulation windows so the real-simulation
+// determinism checks stay fast.
+func testBase() config.Experiment {
+	e := config.Default()
+	e.Warmup = 150
+	e.Measure = 400
+	return e
+}
+
+// TestSweepCSVByteIdenticalAcrossWorkers is the acceptance criterion:
+// the harness-backed sweep produces byte-identical CSV for -parallel=1
+// and -parallel=8 on the same grid.
+func TestSweepCSVByteIdenticalAcrossWorkers(t *testing.T) {
+	schemes := []scheme{{alloc: "if", k: 1}, {alloc: "if", k: 2}}
+	rates := []float64{0.02, 0.05}
+	var serial, parallel bytes.Buffer
+	if err := sweep(context.Background(), testBase(), schemes, rates, true, harness.Serial(), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep(context.Background(), testBase(), schemes, rates, true, harness.Options{Parallel: 8}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("CSV differs between worker counts:\n-parallel=1:\n%s\n-parallel=8:\n%s", serial.String(), parallel.String())
+	}
+	lines := strings.Split(strings.TrimSpace(serial.String()), "\n")
+	wantRows := 1 + len(schemes)*(len(rates)+1) // header + points + saturation per scheme
+	if len(lines) != wantRows {
+		t.Fatalf("CSV has %d lines, want %d:\n%s", len(lines), wantRows, serial.String())
+	}
+	if lines[0] != strings.Join(sweepHeader, ",") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+// TestSweepResumeSplicesManifest: a manifest populated by a partial grid
+// is spliced into a later, larger run, and the artifact still equals a
+// from-scratch run's byte for byte.
+func TestSweepResumeSplicesManifest(t *testing.T) {
+	manifest := filepath.Join(t.TempDir(), "sweep.jsonl")
+	rates := []float64{0.02, 0.05}
+	partial := []scheme{{alloc: "if", k: 1}}
+	full := []scheme{{alloc: "if", k: 1}, {alloc: "if", k: 2}}
+
+	// First run covers only the first scheme, checkpointing it.
+	var firstOut bytes.Buffer
+	if err := sweep(context.Background(), testBase(), partial, rates, false, harness.Options{Parallel: 2, Manifest: manifest}, &firstOut); err != nil {
+		t.Fatal(err)
+	}
+
+	// The full grid resumes: scheme 1's points must come from the
+	// manifest, scheme 2's from fresh simulation.
+	cached := 0
+	var resumedOut bytes.Buffer
+	opt := harness.Options{Parallel: 2, Manifest: manifest, OnDone: func(r harness.Result) {
+		if r.Cached {
+			cached++
+		}
+	}}
+	if err := sweep(context.Background(), testBase(), full, rates, false, opt, &resumedOut); err != nil {
+		t.Fatal(err)
+	}
+	if cached != len(rates) {
+		t.Errorf("resume replayed %d cached points, want %d", cached, len(rates))
+	}
+
+	var freshOut bytes.Buffer
+	if err := sweep(context.Background(), testBase(), full, rates, false, harness.Serial(), &freshOut); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumedOut.Bytes(), freshOut.Bytes()) {
+		t.Fatalf("resumed artifact differs from from-scratch run:\nresumed:\n%s\nfresh:\n%s", resumedOut.String(), freshOut.String())
+	}
+}
+
+// TestSweepPointSeedsDiffer guards the sub-seed satellite: distinct grid
+// points must not share an RNG stream, and the same point must keep its
+// seed when the grid around it changes.
+func TestSweepPointSeedsDiffer(t *testing.T) {
+	jobs := buildJobs(testBase(), []scheme{{alloc: "if", k: 1}, {alloc: "if", k: 2}}, []float64{0.02, 0.05}, true)
+	seeds := make(map[uint64]string)
+	for _, j := range jobs {
+		e := j.Spec.(config.Experiment)
+		if e.Seed == testBase().Seed {
+			t.Errorf("job %s runs on the root seed; derivation missing", j.Name)
+		}
+		if prev, dup := seeds[e.Seed]; dup {
+			t.Errorf("jobs %s and %s share seed %d", prev, j.Name, e.Seed)
+		}
+		seeds[e.Seed] = j.Name
+	}
+	// Same point, different grid shape: seed is position-independent.
+	solo := buildJobs(testBase(), []scheme{{alloc: "if", k: 2}}, []float64{0.05}, false)
+	if a, b := solo[0].Spec.(config.Experiment).Seed, findJob(t, jobs, solo[0].Name).Spec.(config.Experiment).Seed; a != b {
+		t.Errorf("point %s changed seed with grid shape: %d vs %d", solo[0].Name, a, b)
+	}
+}
+
+func findJob(t *testing.T, jobs []harness.Job, name string) harness.Job {
+	t.Helper()
+	for _, j := range jobs {
+		if j.Name == name {
+			return j
+		}
+	}
+	t.Fatalf("job %s not found", name)
+	return harness.Job{}
+}
+
+// TestParseErrors: flag parsing propagates errors instead of calling
+// log.Fatal mid-loop.
+func TestParseErrors(t *testing.T) {
+	if _, err := parseSchemes("if"); err == nil {
+		t.Error("bare scheme accepted")
+	}
+	if _, err := parseSchemes("if:x"); err == nil {
+		t.Error("non-numeric k accepted")
+	}
+	if _, err := parseRates("0.01,zap"); err == nil {
+		t.Error("bad rate accepted")
+	}
+}

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 
 	"vix/internal/alloc"
-	"vix/internal/network"
+	"vix/internal/harness"
 	"vix/internal/router"
-	"vix/internal/stats"
 	"vix/internal/topology"
 	"vix/internal/traffic"
 )
@@ -16,6 +17,11 @@ import (
 // the pipeline depth, the number of virtual inputs, and the choice of
 // allocation scheme (including iSLIP and SPAROFLO from the paper's
 // citations and related work).
+//
+// Every study builds its point set as a GridPoint slice and runs it
+// through the harness, so each has a serial entry (the historical
+// signature) and an Opt entry taking a context and harness.Options for
+// parallel, resumable execution.
 
 // PolicyAblationRow is the saturation throughput of one (pattern,
 // policy) pair on the VIX mesh.
@@ -29,10 +35,16 @@ type PolicyAblationRow struct {
 // saturated 8x8 VIX mesh across traffic patterns, including the
 // adversarial ones the paper's Section 2.3 targets.
 func AblatePolicies(p Params, patterns []string) ([]PolicyAblationRow, error) {
+	return AblatePoliciesOpt(context.Background(), p, patterns, harness.Serial())
+}
+
+// AblatePoliciesOpt is the harness-backed form of AblatePolicies.
+func AblatePoliciesOpt(ctx context.Context, p Params, patterns []string, opt harness.Options) ([]PolicyAblationRow, error) {
 	if patterns == nil {
 		patterns = []string{"uniform", "transpose", "tornado", "bitcomp"}
 	}
 	topo := topology.NewMesh(8, 8)
+	var pts []GridPoint
 	var rows []PolicyAblationRow
 	for _, name := range patterns {
 		pat, err := traffic.New(name, 8, 8)
@@ -42,12 +54,19 @@ func AblatePolicies(p Params, patterns []string) ([]PolicyAblationRow, error) {
 		for _, pol := range []router.PolicyKind{router.PolicyMaxFree, router.PolicyDimension, router.PolicyBalanced} {
 			cfg := buildConfig(topo, Scheme{Label: "VIX", Kind: alloc.KindSeparableIF, K: 2, Policy: pol}, p, 0, true)
 			cfg.Pattern = pat
-			snap, err := measure(cfg, p)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, PolicyAblationRow{Pattern: name, Policy: pol, Throughput: snap.ThroughputFlits})
+			pts = append(pts, GridPoint{
+				Labels: []string{"ablate", "policies", name, string(pol)},
+				Config: cfg, Warmup: p.Warmup, Measure: p.Measure,
+			})
+			rows = append(rows, PolicyAblationRow{Pattern: name, Policy: pol})
 		}
+	}
+	snaps, err := RunGrid(ctx, p.Seed, pts, opt)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].Throughput = snaps[i].ThroughputFlits
 	}
 	return rows, nil
 }
@@ -62,17 +81,30 @@ type PartitionAblationRow struct {
 // AblatePartition compares the paper's contiguous VC sub-grouping with
 // an interleaved assignment on saturated VIX networks.
 func AblatePartition(p Params) ([]PartitionAblationRow, error) {
+	return AblatePartitionOpt(context.Background(), p, harness.Serial())
+}
+
+// AblatePartitionOpt is the harness-backed form of AblatePartition.
+func AblatePartitionOpt(ctx context.Context, p Params, opt harness.Options) ([]PartitionAblationRow, error) {
+	var pts []GridPoint
 	var rows []PartitionAblationRow
 	for _, topo := range Topologies() {
 		for _, part := range []alloc.Partition{alloc.Contiguous, alloc.Interleaved} {
 			cfg := buildConfig(topo, Scheme{Label: "VIX", Kind: alloc.KindSeparableIF, K: 2, Policy: router.PolicyBalanced}, p, 0, true)
 			cfg.Router.Partition = part
-			snap, err := measure(cfg, p)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, PartitionAblationRow{Topology: topo.Name, Partition: part, Throughput: snap.ThroughputFlits})
+			pts = append(pts, GridPoint{
+				Labels: []string{"ablate", "partition", topo.Name, strconv.Itoa(int(part))},
+				Config: cfg, Warmup: p.Warmup, Measure: p.Measure,
+			})
+			rows = append(rows, PartitionAblationRow{Topology: topo.Name, Partition: part})
 		}
+	}
+	snaps, err := RunGrid(ctx, p.Seed, pts, opt)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].Throughput = snaps[i].ThroughputFlits
 	}
 	return rows, nil
 }
@@ -89,28 +121,42 @@ type PipelineAblationRow struct {
 // 6b) against the conventional 5-stage pipeline (Figure 6a) for baseline
 // and VIX: latency at a moderate load and saturation throughput.
 func AblatePipeline(p Params, probeRate float64) ([]PipelineAblationRow, error) {
+	return AblatePipelineOpt(context.Background(), p, probeRate, harness.Serial())
+}
+
+// AblatePipelineOpt is the harness-backed form of AblatePipeline. Each
+// row needs two simulations (probe-rate latency and saturation
+// throughput), so the grid interleaves probe and saturation points.
+func AblatePipelineOpt(ctx context.Context, p Params, probeRate float64, opt harness.Options) ([]PipelineAblationRow, error) {
 	topo := topology.NewMesh(8, 8)
 	schemes := []Scheme{NetworkSchemes()[0], NetworkSchemes()[3]}
+	var pts []GridPoint
 	var rows []PipelineAblationRow
 	for _, s := range schemes {
 		for _, hop := range []int{3, 5} {
-			cfg := buildConfig(topo, s, p, probeRate, false)
-			cfg.HopDelay = hop
-			lat, err := measure(cfg, p)
-			if err != nil {
-				return nil, err
-			}
-			cfg = buildConfig(topo, s, p, 0, true)
-			cfg.HopDelay = hop
-			sat, err := measure(cfg, p)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, PipelineAblationRow{
-				Scheme: s.Label, HopDelay: hop,
-				AvgLatency: lat.AvgLatency, Throughput: sat.ThroughputFlits,
-			})
+			probe := buildConfig(topo, s, p, probeRate, false)
+			probe.HopDelay = hop
+			sat := buildConfig(topo, s, p, 0, true)
+			sat.HopDelay = hop
+			pts = append(pts,
+				GridPoint{
+					Labels: []string{"ablate", "pipeline", s.Label, strconv.Itoa(hop), rateLabel(probeRate, false)},
+					Config: probe, Warmup: p.Warmup, Measure: p.Measure,
+				},
+				GridPoint{
+					Labels: []string{"ablate", "pipeline", s.Label, strconv.Itoa(hop), rateLabel(0, true)},
+					Config: sat, Warmup: p.Warmup, Measure: p.Measure,
+				})
+			rows = append(rows, PipelineAblationRow{Scheme: s.Label, HopDelay: hop})
 		}
+	}
+	snaps, err := RunGrid(ctx, p.Seed, pts, opt)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].AvgLatency = snaps[2*i].AvgLatency
+		rows[i].Throughput = snaps[2*i+1].ThroughputFlits
 	}
 	return rows, nil
 }
@@ -129,28 +175,44 @@ type SpeculationAblationRow struct {
 // non-speculative variant that serialises VA before SA, for baseline and
 // VIX on the mesh.
 func AblateSpeculation(p Params, probeRate float64) ([]SpeculationAblationRow, error) {
+	return AblateSpeculationOpt(context.Background(), p, probeRate, harness.Serial())
+}
+
+// AblateSpeculationOpt is the harness-backed form of AblateSpeculation.
+func AblateSpeculationOpt(ctx context.Context, p Params, probeRate float64, opt harness.Options) ([]SpeculationAblationRow, error) {
 	topo := topology.NewMesh(8, 8)
 	schemes := []Scheme{NetworkSchemes()[0], NetworkSchemes()[3]}
+	var pts []GridPoint
 	var rows []SpeculationAblationRow
 	for _, s := range schemes {
 		for _, nonSpec := range []bool{false, true} {
-			cfg := buildConfig(topo, s, p, probeRate, false)
-			cfg.Router.NonSpeculative = nonSpec
-			lat, err := measure(cfg, p)
-			if err != nil {
-				return nil, err
+			probe := buildConfig(topo, s, p, probeRate, false)
+			probe.Router.NonSpeculative = nonSpec
+			sat := buildConfig(topo, s, p, 0, true)
+			sat.Router.NonSpeculative = nonSpec
+			mode := "spec"
+			if nonSpec {
+				mode = "nonspec"
 			}
-			cfg = buildConfig(topo, s, p, 0, true)
-			cfg.Router.NonSpeculative = nonSpec
-			sat, err := measure(cfg, p)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, SpeculationAblationRow{
-				Scheme: s.Label, NonSpeculative: nonSpec,
-				AvgLatency: lat.AvgLatency, Throughput: sat.ThroughputFlits,
-			})
+			pts = append(pts,
+				GridPoint{
+					Labels: []string{"ablate", "speculation", s.Label, mode, rateLabel(probeRate, false)},
+					Config: probe, Warmup: p.Warmup, Measure: p.Measure,
+				},
+				GridPoint{
+					Labels: []string{"ablate", "speculation", s.Label, mode, rateLabel(0, true)},
+					Config: sat, Warmup: p.Warmup, Measure: p.Measure,
+				})
+			rows = append(rows, SpeculationAblationRow{Scheme: s.Label, NonSpeculative: nonSpec})
 		}
+	}
+	snaps, err := RunGrid(ctx, p.Seed, pts, opt)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].AvgLatency = snaps[2*i].AvgLatency
+		rows[i].Throughput = snaps[2*i+1].ThroughputFlits
 	}
 	return rows, nil
 }
@@ -165,18 +227,33 @@ type KSweepRow struct {
 // the mesh — a finer-grained version of Figure 12 that locates where the
 // returns diminish.
 func AblateVirtualInputs(p Params) ([]KSweepRow, error) {
+	return AblateVirtualInputsOpt(context.Background(), p, harness.Serial())
+}
+
+// AblateVirtualInputsOpt is the harness-backed form of
+// AblateVirtualInputs.
+func AblateVirtualInputsOpt(ctx context.Context, p Params, opt harness.Options) ([]KSweepRow, error) {
 	topo := topology.NewMesh(8, 8)
+	var pts []GridPoint
 	var rows []KSweepRow
 	for k := 1; k <= p.VCs; k++ {
 		if p.VCs%k != 0 && k != p.VCs {
 			continue // only even partitions keep sub-groups comparable
 		}
 		s := Scheme{Label: fmt.Sprintf("k=%d", k), Kind: alloc.KindSeparableIF, K: k, Policy: router12Policy(k)}
-		snap, err := SaturationThroughput(topo, s, p)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, KSweepRow{K: k, Throughput: snap.ThroughputFlits})
+		pts = append(pts, GridPoint{
+			Labels: []string{"ablate", "ksweep", strconv.Itoa(k)},
+			Config: buildConfig(topo, s, p, 0, true),
+			Warmup: p.Warmup, Measure: p.Measure,
+		})
+		rows = append(rows, KSweepRow{K: k})
+	}
+	snaps, err := RunGrid(ctx, p.Seed, pts, opt)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].Throughput = snaps[i].ThroughputFlits
 	}
 	return rows, nil
 }
@@ -192,6 +269,11 @@ type AllocAblationRow struct {
 // iterative allocator the paper cites) and SPAROFLO (related work) — on
 // a saturated mesh.
 func AblateAllocators(p Params) ([]AllocAblationRow, error) {
+	return AblateAllocatorsOpt(context.Background(), p, harness.Serial())
+}
+
+// AblateAllocatorsOpt is the harness-backed form of AblateAllocators.
+func AblateAllocatorsOpt(ctx context.Context, p Params, opt harness.Options) ([]AllocAblationRow, error) {
 	topo := topology.NewMesh(8, 8)
 	schemes := []Scheme{
 		{Label: "IF", Kind: alloc.KindSeparableIF, K: 1, Policy: router.PolicyMaxFree},
@@ -203,23 +285,22 @@ func AblateAllocators(p Params) ([]AllocAblationRow, error) {
 		{Label: "VIX-WF", Kind: alloc.KindWavefront, K: 2, Policy: router.PolicyBalanced},
 		{Label: "VIX-age", Kind: alloc.KindSeparableAge, K: 2, Policy: router.PolicyBalanced},
 	}
+	var pts []GridPoint
 	var rows []AllocAblationRow
 	for _, s := range schemes {
-		snap, err := SaturationThroughput(topo, s, p)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AllocAblationRow{Scheme: s.Label, Throughput: snap.ThroughputFlits})
+		pts = append(pts, GridPoint{
+			Labels: []string{"ablate", "allocators", s.Label},
+			Config: buildConfig(topo, s, p, 0, true),
+			Warmup: p.Warmup, Measure: p.Measure,
+		})
+		rows = append(rows, AllocAblationRow{Scheme: s.Label})
+	}
+	snaps, err := RunGrid(ctx, p.Seed, pts, opt)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].Throughput = snaps[i].ThroughputFlits
 	}
 	return rows, nil
-}
-
-// measure builds and runs one configured network.
-func measure(cfg network.Config, p Params) (stats.Snapshot, error) {
-	n, err := network.New(cfg)
-	if err != nil {
-		return stats.Snapshot{}, err
-	}
-	n.Warmup(p.Warmup)
-	return n.Measure(p.Measure), nil
 }

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"vix/internal/energy"
+	"vix/internal/harness"
 	"vix/internal/router"
 	"vix/internal/routerbench"
 	"vix/internal/timing"
@@ -61,26 +64,62 @@ func Figure8Rates() []float64 {
 }
 
 // Figure8 sweeps offered load on the 8x8 mesh for the four network
-// schemes and appends a saturation point (MaxInjection) per scheme.
+// schemes and appends a saturation point (MaxInjection) per scheme. It
+// is the serial form of Figure8Opt.
 func Figure8(p Params, rates []float64) ([]Fig8Point, error) {
+	return Figure8Opt(context.Background(), p, rates, harness.Serial())
+}
+
+// Figure8Grid builds the figure's simulation points: every scheme at
+// every rate, plus a saturation point per scheme, in canonical order.
+func Figure8Grid(p Params, rates []float64) []GridPoint {
 	topo := topology.NewMesh(8, 8)
 	if rates == nil {
 		rates = Figure8Rates()
 	}
-	var pts []Fig8Point
+	var pts []GridPoint
 	for _, s := range NetworkSchemes() {
 		for _, rate := range rates {
-			snap, err := runOne(topo, s, p, rate, false)
-			if err != nil {
-				return nil, err
-			}
-			pts = append(pts, Fig8Point{Scheme: s.Label, Rate: rate, AvgLatency: snap.AvgLatency, Throughput: snap.ThroughputFlits})
+			pts = append(pts, GridPoint{
+				Labels: []string{"fig8", s.Label, rateLabel(rate, false)},
+				Config: buildConfig(topo, s, p, rate, false),
+				Warmup: p.Warmup, Measure: p.Measure,
+			})
 		}
-		snap, err := SaturationThroughput(topo, s, p)
-		if err != nil {
-			return nil, err
+		pts = append(pts, GridPoint{
+			Labels: []string{"fig8", s.Label, rateLabel(0, true)},
+			Config: buildConfig(topo, s, p, 0, true),
+			Warmup: p.Warmup, Measure: p.Measure,
+		})
+	}
+	return pts
+}
+
+// Figure8Opt runs the Figure 8 grid through the harness — points fan out
+// across opt.Parallel workers and the returned rows are in canonical
+// order whatever the completion order.
+func Figure8Opt(ctx context.Context, p Params, rates []float64, opt harness.Options) ([]Fig8Point, error) {
+	if rates == nil {
+		rates = Figure8Rates()
+	}
+	grid := Figure8Grid(p, rates)
+	snaps, err := RunGrid(ctx, p.Seed, grid, opt)
+	if err != nil {
+		return nil, err
+	}
+	perScheme := len(rates) + 1
+	pts := make([]Fig8Point, len(grid))
+	for i, snap := range snaps {
+		rate := 0.0
+		if r := i % perScheme; r < len(rates) {
+			rate = rates[r]
 		}
-		pts = append(pts, Fig8Point{Scheme: s.Label, Rate: 0, AvgLatency: snap.AvgLatency, Throughput: snap.ThroughputFlits})
+		pts[i] = Fig8Point{
+			Scheme:     NetworkSchemes()[i/perScheme].Label,
+			Rate:       rate,
+			AvgLatency: snap.AvgLatency,
+			Throughput: snap.ThroughputFlits,
+		}
 	}
 	return pts, nil
 }

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"vix/internal/harness"
+	"vix/internal/network"
+	"vix/internal/sim"
+	"vix/internal/stats"
+)
+
+// This file is the bridge between the experiment definitions and the
+// parallel harness: every figure and ablation study builds its grid as
+// GridPoints, and RunGrid fans them out across workers while keeping the
+// merged output byte-identical to a serial run. Each point's RNG seed is
+// derived from the study root seed and the point's labels, never from
+// execution order, so a point replays identically wherever it runs.
+
+// GridPoint is one self-contained simulation of an experiment grid: a
+// fully built network configuration plus the labels that name it in a
+// harness manifest and derive its RNG sub-seed.
+type GridPoint struct {
+	// Labels identify the point, e.g. {"fig8", "VIX", "0.05"}. They must
+	// be unique within a grid and stable across runs: the manifest keys
+	// cached results on them (via the spec hash) and the sub-seed
+	// derivation consumes them.
+	Labels []string
+	// Config is the complete network configuration. Its Seed field is
+	// overwritten with the derived sub-seed.
+	Config network.Config
+	// Warmup and Measure are the simulation windows in cycles.
+	Warmup, Measure int
+}
+
+// pointSpec is the flat, JSON-serialisable identity of a grid point —
+// everything that can change the simulation's result. It is hashed into
+// the harness job ID, so adding a knob to network.Config that affects
+// results means adding it here too (spec_test.go guards the shape).
+type pointSpec struct {
+	Labels         []string `json:"labels"`
+	Topology       string   `json:"topology"`
+	Pattern        string   `json:"pattern,omitempty"`
+	Allocator      string   `json:"allocator"`
+	K              int      `json:"k"`
+	VCs            int      `json:"vcs"`
+	BufDepth       int      `json:"buf_depth"`
+	Policy         string   `json:"policy,omitempty"`
+	Partition      int      `json:"partition"`
+	NonSpeculative bool     `json:"non_speculative,omitempty"`
+	HopDelay       int      `json:"hop_delay,omitempty"`
+	CreditDelay    int      `json:"credit_delay,omitempty"`
+	Rate           float64  `json:"rate"`
+	MaxInjection   bool     `json:"max_injection,omitempty"`
+	PacketSize     int      `json:"packet_size"`
+	Warmup         int      `json:"warmup"`
+	Measure        int      `json:"measure"`
+	Seed           uint64   `json:"seed"`
+}
+
+// spec flattens the point (with its derived seed already applied) into
+// its canonical identity.
+func (g GridPoint) spec(cfg network.Config) pointSpec {
+	pattern := ""
+	if cfg.Pattern != nil {
+		pattern = cfg.Pattern.Name()
+	}
+	return pointSpec{
+		Labels:         g.Labels,
+		Topology:       cfg.Topology.Name,
+		Pattern:        pattern,
+		Allocator:      string(cfg.Router.AllocKind),
+		K:              cfg.Router.VirtualInputs,
+		VCs:            cfg.Router.VCs,
+		BufDepth:       cfg.Router.BufDepth,
+		Policy:         string(cfg.Router.Policy),
+		Partition:      int(cfg.Router.Partition),
+		NonSpeculative: cfg.Router.NonSpeculative,
+		HopDelay:       cfg.HopDelay,
+		CreditDelay:    cfg.CreditDelay,
+		Rate:           cfg.InjectionRate,
+		MaxInjection:   cfg.MaxInjection,
+		PacketSize:     cfg.PacketSize,
+		Warmup:         g.Warmup,
+		Measure:        g.Measure,
+		Seed:           cfg.Seed,
+	}
+}
+
+// Job converts the point into a harness job, deriving its RNG sub-seed
+// from the study root seed and the point's labels.
+func (g GridPoint) Job(root uint64) harness.Job {
+	cfg := g.Config
+	cfg.Seed = sim.DeriveSeed(root, g.Labels...)
+	warmup, measure := g.Warmup, g.Measure
+	return harness.Job{
+		Name:   strings.Join(g.Labels, "/"),
+		Spec:   g.spec(cfg),
+		Cycles: int64(warmup + measure),
+		Run: func(context.Context) (any, error) {
+			n, err := network.New(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", strings.Join(g.Labels, "/"), err)
+			}
+			n.Warmup(warmup)
+			return toRecord(n.Measure(measure)), nil
+		},
+	}
+}
+
+// RunGrid executes the points through the harness and returns one
+// snapshot per point, in grid order, regardless of worker count.
+func RunGrid(ctx context.Context, root uint64, pts []GridPoint, opt harness.Options) ([]stats.Snapshot, error) {
+	jobs := make([]harness.Job, len(pts))
+	for i, g := range pts {
+		jobs[i] = g.Job(root)
+	}
+	res, err := harness.Run(ctx, jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := harness.DecodeAll[snapshotRecord](res)
+	if err != nil {
+		return nil, err
+	}
+	snaps := make([]stats.Snapshot, len(recs))
+	for i, r := range recs {
+		snaps[i] = r.snapshot()
+	}
+	return snaps, nil
+}
+
+// snapshotRecord is the manifest encoding of a stats.Snapshot. Fairness
+// travels separately as a jsonFloat because max/min throughput is +Inf
+// when a source starves — legal data that encoding/json rejects for a
+// plain float64 field.
+type snapshotRecord struct {
+	stats.Snapshot
+	Fairness jsonFloat `json:"fairness"`
+}
+
+func toRecord(s stats.Snapshot) snapshotRecord {
+	r := snapshotRecord{Snapshot: s, Fairness: jsonFloat(s.FairnessRatio)}
+	// Zero the promoted field: +Inf would poison json.Marshal, and the
+	// value already travels via Fairness.
+	r.FairnessRatio = 0
+	return r
+}
+
+func (r snapshotRecord) snapshot() stats.Snapshot {
+	s := r.Snapshot
+	s.FairnessRatio = float64(r.Fairness)
+	return s
+}
+
+// jsonFloat round-trips non-finite floats through JSON as strings
+// ("+Inf", "NaN"), which strconv.ParseFloat reads back exactly.
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return json.Marshal(fmt.Sprint(v))
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	var v float64
+	if err := json.Unmarshal(b, &v); err == nil {
+		*f = jsonFloat(v)
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("experiments: fairness value %s is neither number nor string", b)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("experiments: parsing fairness %q: %w", s, err)
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// rateLabel formats an offered load for use in labels and artifacts:
+// "saturation" for max-injection points, the shortest exact decimal
+// otherwise.
+func rateLabel(rate float64, maxInj bool) string {
+	if maxInj {
+		return "saturation"
+	}
+	return strconv.FormatFloat(rate, 'g', -1, 64)
+}

@@ -1,0 +1,274 @@
+// Package harness turns a grid of independent experiment points into a
+// deterministic parallel job engine. Every evaluation in EXPERIMENTS.md
+// is a fan-out of self-contained simulations — one (scheme, rate,
+// topology) point per run — and the harness is the one place in the
+// repository where those runs are allowed to execute concurrently.
+//
+// The contract that keeps parallelism compatible with the simulator's
+// reproducibility story has three parts:
+//
+//   - Self-contained jobs. A Job owns everything its simulation needs,
+//     including its RNG seed (derived up front via sim.DeriveSeed from
+//     the job's labels, never from run order). Jobs share no mutable
+//     state, so scheduling cannot reach results.
+//
+//   - Canonical merge. Run returns results in job order regardless of
+//     worker count or completion order, so an artifact rendered from the
+//     returned slice is byte-identical for -parallel=1 and -parallel=N.
+//
+//   - Resumable manifest. With Options.Manifest set, every completed
+//     job's result is appended to a JSONL checkpoint keyed by a content
+//     hash of the job's spec. A rerun skips completed points and splices
+//     their cached values into the merged output, so an interrupted grid
+//     finishes exactly where an uninterrupted one would have.
+//
+// Concurrency is legal only here: vixlint's determinism pass allowlists
+// this package for go statements and keeps them forbidden in every
+// simulation package (see internal/lint).
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job is one self-contained experiment point of a grid.
+type Job struct {
+	// Name identifies the job in telemetry and error messages, e.g.
+	// "sweep/if:2/0.05". Names need not be unique; IDs are.
+	Name string
+
+	// Spec is the canonical, JSON-serialisable description of the point.
+	// Its encoding is content-hashed into the job's manifest ID, so it
+	// must capture everything that can change the result — allocator,
+	// k, rate, topology, simulation windows, and the derived sub-seed.
+	Spec any
+
+	// Cycles is the number of simulated cycles the job will run
+	// (warmup + measurement), used for cycles/sec telemetry. Zero is
+	// fine for non-simulation jobs.
+	Cycles int64
+
+	// Run executes the point and returns a JSON-serialisable result.
+	// It must be deterministic in Spec alone: no shared state, no
+	// wall-clock reads, no dependence on scheduling. The context is
+	// cancelled when the run is being abandoned; long jobs may honour
+	// it, short ones may ignore it.
+	Run func(ctx context.Context) (any, error)
+}
+
+// Result is one job's outcome, in the canonical (input) order.
+type Result struct {
+	// Index is the job's position in the input slice.
+	Index int
+	// ID is the content hash of the job's spec — its manifest key.
+	ID string
+	// Name echoes Job.Name.
+	Name string
+	// Value is the JSON encoding of Run's return value. It is nil when
+	// the run failed or was interrupted before the job started.
+	Value json.RawMessage
+	// Cached reports that Value was spliced from the manifest instead
+	// of being recomputed.
+	Cached bool
+	// Telemetry records the job's wall-clock cost. For cached results
+	// it is the cost recorded when the job originally ran.
+	Telemetry Telemetry
+}
+
+// Options configure a Run.
+type Options struct {
+	// Parallel is the worker count. Values <= 0 mean GOMAXPROCS.
+	Parallel int
+
+	// Manifest, when non-empty, is the path of the JSONL checkpoint.
+	// Jobs whose IDs appear in it are skipped and their recorded values
+	// spliced into the results; newly completed jobs are appended as
+	// they finish, so an interrupted run can resume.
+	Manifest string
+
+	// OnDone, when non-nil, observes every result as it completes
+	// (cached results are reported too, in job order, before any work
+	// starts). It may be invoked concurrently from worker goroutines
+	// and must not block for long; completion order is scheduling-
+	// dependent and must never be used to build artifacts.
+	OnDone func(Result)
+}
+
+// Serial returns the options for a single-worker, checkpoint-free run —
+// the drop-in replacement for the old one-point-at-a-time loops.
+func Serial() Options { return Options{Parallel: 1} }
+
+// Decode unmarshals a result's value into T.
+func Decode[T any](r Result) (T, error) {
+	var v T
+	if r.Value == nil {
+		return v, fmt.Errorf("harness: job %s has no recorded value", r.Name)
+	}
+	if err := json.Unmarshal(r.Value, &v); err != nil {
+		return v, fmt.Errorf("harness: decoding job %s: %w", r.Name, err)
+	}
+	return v, nil
+}
+
+// DecodeAll unmarshals every result's value, preserving order.
+func DecodeAll[T any](rs []Result) ([]T, error) {
+	out := make([]T, len(rs))
+	for i, r := range rs {
+		v, err := Decode[T](r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Run executes the grid and returns results in job order. The returned
+// slice always has len(jobs) entries; on error, entries whose jobs never
+// ran have a nil Value. Completed jobs are checkpointed to the manifest
+// (if configured) even when the run as a whole fails or is cancelled, so
+// a rerun resumes rather than restarts.
+func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
+	ids, err := jobIDs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var man *manifest
+	if opt.Manifest != "" {
+		man, err = openManifest(opt.Manifest)
+		if err != nil {
+			return nil, err
+		}
+		defer man.close()
+	}
+
+	results := make([]Result, len(jobs))
+	var todo []int
+	for i := range jobs {
+		results[i] = Result{Index: i, ID: ids[i], Name: jobs[i].Name}
+		if man != nil {
+			if e, ok := man.lookup(ids[i]); ok {
+				results[i].Value = e.Value
+				results[i].Cached = true
+				results[i].Telemetry = e.Telemetry
+				if opt.OnDone != nil {
+					opt.OnDone(results[i])
+				}
+				continue
+			}
+		}
+		todo = append(todo, i)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu      sync.Mutex
+		jobErrs []error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		jobErrs = append(jobErrs, err)
+		mu.Unlock()
+		cancel() // fail fast: stop handing out new jobs
+	}
+
+	workers := opt.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+
+	feed := make(chan int)
+	go func() {
+		defer close(feed)
+		for _, i := range todo {
+			select {
+			case feed <- i:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				if runCtx.Err() != nil {
+					return
+				}
+				res, err := runJob(runCtx, jobs[i], results[i])
+				if err != nil {
+					fail(err)
+					continue
+				}
+				if man != nil {
+					if err := man.append(entry{ID: res.ID, Name: res.Name, Value: res.Value, Telemetry: res.Telemetry}); err != nil {
+						fail(err)
+						continue
+					}
+				}
+				results[i] = res
+				if opt.OnDone != nil {
+					opt.OnDone(res)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(jobErrs) > 0 {
+		return results, errors.Join(jobErrs...)
+	}
+	if err := ctx.Err(); err != nil {
+		return results, fmt.Errorf("harness: run interrupted: %w", err)
+	}
+	return results, nil
+}
+
+// runJob executes one job and encodes its value and telemetry.
+func runJob(ctx context.Context, job Job, res Result) (Result, error) {
+	start := wallClock()
+	v, err := job.Run(ctx)
+	if err != nil {
+		return res, fmt.Errorf("harness: job %s: %w", job.Name, err)
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return res, fmt.Errorf("harness: job %s: result not serialisable: %w", job.Name, err)
+	}
+	res.Value = raw
+	res.Telemetry = newTelemetry(start, job.Cycles)
+	return res, nil
+}
+
+// jobIDs hashes every job's spec, rejecting grids with duplicate points:
+// two jobs with the same ID would alias one manifest entry and silently
+// drop half the work on resume.
+func jobIDs(jobs []Job) ([]string, error) {
+	ids := make([]string, len(jobs))
+	seen := make(map[string]int, len(jobs))
+	for i, job := range jobs {
+		id, err := jobID(job)
+		if err != nil {
+			return nil, err
+		}
+		if j, dup := seen[id]; dup {
+			return nil, fmt.Errorf("harness: jobs %d (%s) and %d (%s) have identical specs; every grid point must be unique",
+				j, jobs[j].Name, i, job.Name)
+		}
+		seen[id] = i
+		ids[i] = id
+	}
+	return ids, nil
+}

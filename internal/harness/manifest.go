@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// entry is one checkpointed job: a single JSON line of the manifest.
+type entry struct {
+	ID        string          `json:"id"`
+	Name      string          `json:"name"`
+	Value     json.RawMessage `json:"value"`
+	Telemetry Telemetry       `json:"telemetry"`
+}
+
+// jobID content-hashes a job's name and spec into its manifest key. The
+// spec's canonical JSON encoding is hashed (encoding/json serialises
+// struct fields in declaration order and map keys sorted, so equal specs
+// always hash equally).
+func jobID(job Job) (string, error) {
+	spec, err := json.Marshal(job.Spec)
+	if err != nil {
+		return "", fmt.Errorf("harness: job %s: spec not serialisable: %w", job.Name, err)
+	}
+	h := sha256.New()
+	h.Write([]byte(job.Name))
+	h.Write([]byte{0})
+	h.Write(spec)
+	return hex.EncodeToString(h.Sum(nil)[:12]), nil
+}
+
+// manifest is the JSONL checkpoint: completed entries loaded at open,
+// new entries appended (one fsync-free write per line) as jobs finish.
+type manifest struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]entry
+}
+
+// openManifest loads an existing checkpoint (tolerating a torn final
+// line from a killed run) and opens it for appending. A missing file is
+// an empty manifest, so first runs and resumed runs share one code path.
+func openManifest(path string) (*manifest, error) {
+	m := &manifest{entries: make(map[string]entry)}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("harness: reading manifest: %w", err)
+	}
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		var e entry
+		// A line that does not parse, or parses without an ID, is a
+		// torn tail write from an interrupted run: ignore it and the
+		// job will simply be re-run.
+		if err := json.Unmarshal(line, &e); err != nil || e.ID == "" {
+			continue
+		}
+		m.entries[e.ID] = e
+	}
+	m.f, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: opening manifest: %w", err)
+	}
+	return m, nil
+}
+
+// lookup returns the checkpointed entry for a job ID, if any.
+func (m *manifest) lookup(id string) (entry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[id]
+	return e, ok
+}
+
+// append checkpoints one completed job. Each entry is a single Write of
+// one full line, so a kill can tear at most the final line — which
+// openManifest discards on resume.
+func (m *manifest) append(e entry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("harness: encoding manifest entry %s: %w", e.Name, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("harness: writing manifest entry %s: %w", e.Name, err)
+	}
+	m.entries[e.ID] = e
+	return nil
+}
+
+// close releases the manifest file handle.
+func (m *manifest) close() error {
+	if m.f == nil {
+		return nil
+	}
+	return m.f.Close()
+}

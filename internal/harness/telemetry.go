@@ -1,0 +1,41 @@
+package harness
+
+import "time"
+
+// Telemetry is the wall-clock cost of one job. It is emitted alongside
+// results — stderr logs, BENCH_harness.json — and recorded in the
+// manifest, but it never enters a merged artifact: the CSVs and tables
+// the harness produces stay byte-identical across machines and worker
+// counts.
+type Telemetry struct {
+	// WallNanos is the job's elapsed wall time in nanoseconds.
+	WallNanos int64 `json:"wall_ns"`
+	// Cycles is the number of simulated cycles (from Job.Cycles).
+	Cycles int64 `json:"cycles,omitempty"`
+	// CyclesPerSec is the simulation rate, the harness's headline
+	// throughput metric.
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+}
+
+// wallClock reads the wall clock for telemetry. This is the only
+// sanctioned wall-clock read in internal/: the value annotates harness
+// throughput and never reaches a simulation result or merged artifact,
+// so reproducibility is unaffected.
+func wallClock() time.Time {
+	//vixlint:ordered telemetry-only wall-clock read; the value never flows into simulation results or merged artifacts
+	return time.Now()
+}
+
+// newTelemetry computes a job's telemetry from its start time and
+// simulated cycle count.
+func newTelemetry(start time.Time, cycles int64) Telemetry {
+	elapsed := wallClock().Sub(start)
+	t := Telemetry{WallNanos: elapsed.Nanoseconds(), Cycles: cycles}
+	if secs := elapsed.Seconds(); secs > 0 && cycles > 0 {
+		t.CyclesPerSec = float64(cycles) / secs
+	}
+	return t
+}
+
+// Duration returns the wall time as a time.Duration.
+func (t Telemetry) Duration() time.Duration { return time.Duration(t.WallNanos) }

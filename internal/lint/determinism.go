@@ -4,7 +4,24 @@ import (
 	"go/ast"
 	"go/types"
 	"strconv"
+	"strings"
 )
+
+// ConcurrencyAllowlist names the packages — by import path relative to
+// the module root — where go statements are legal. Orchestration code
+// that fans out fully self-contained simulations may use goroutines;
+// simulation packages may not, because goroutine interleaving is a
+// scheduler decision, not a seed decision. Growing this list is a
+// reviewed act: the lint self-check pins its exact contents.
+var ConcurrencyAllowlist = map[string]bool{
+	"internal/harness": true,
+}
+
+// concurrencyAllowed reports whether the package under analysis may use
+// go statements.
+func (c *checker) concurrencyAllowed() bool {
+	return ConcurrencyAllowlist[strings.TrimPrefix(c.pkg.Path, c.mod.Path+"/")]
+}
 
 // determinism runs the determinism family over an internal package:
 // wall-clock reads, global randomness, goroutines, and order-leaking map
@@ -18,9 +35,9 @@ func (c *checker) determinism() []Finding {
 			case *ast.SelectorExpr:
 				c.checkTimeCall(&fs, file, n)
 			case *ast.GoStmt:
-				if !c.waived(n.Pos()) {
+				if !c.concurrencyAllowed() && !c.waived(n.Pos()) {
 					c.report(&fs, n.Pos(), "determinism/goroutine",
-						"go statement in simulation code: goroutine interleaving is not reproducible from a seed")
+						"go statement in simulation code: goroutine interleaving is not reproducible from a seed; fan-out belongs in an allowlisted orchestration package (internal/harness)")
 				}
 			case *ast.RangeStmt:
 				c.checkMapRange(&fs, n)

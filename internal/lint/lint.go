@@ -13,7 +13,10 @@
 //   - determinism/rand: no imports of math/rand or math/rand/v2; the
 //     global generator is seeded per-process, not per-experiment.
 //   - determinism/goroutine: no go statements; goroutine interleaving is
-//     a scheduler decision, not a seed decision.
+//     a scheduler decision, not a seed decision. The sole exception is
+//     the ConcurrencyAllowlist (internal/harness), the orchestration
+//     layer that fans out self-contained simulations and merges their
+//     results in canonical order.
 //   - determinism/maprange: no for-range over a map whose body writes to
 //     state declared outside the loop; Go randomises map iteration order
 //     per run, so such writes leak nondeterminism into results.

@@ -168,6 +168,59 @@ func NotWaived(m map[string]int) {
 	}
 }
 
+// TestConcurrencyAllowlist covers both sides of the goroutine rule: go
+// statements are legal in the allowlisted orchestration package
+// (internal/harness) and nowhere else — including a package merely named
+// harness at another path. Every other determinism rule still binds
+// inside the allowlisted package.
+func TestConcurrencyAllowlist(t *testing.T) {
+	findings := checkModule(t, map[string]string{
+		"internal/harness/pool.go": `package harness
+
+import "time"
+
+func FanOut(fns []func()) {
+	done := make(chan struct{})
+	for _, fn := range fns {
+		fn := fn
+		go func() {
+			fn()
+			done <- struct{}{}
+		}()
+	}
+	for range fns {
+		<-done
+	}
+}
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+`,
+		"internal/sim/pool.go": `package sim
+
+func Sneaky(fn func()) {
+	go fn()
+}
+`,
+		"internal/nested/harness/pool.go": `package harness
+
+func AlsoSneaky(fn func()) {
+	go fn()
+}
+`,
+	})
+	wantNone(t, findings, "determinism/rand")
+	if got := count(findings, "determinism/goroutine"); got != 2 {
+		t.Errorf("goroutine findings = %d, want 2 (sim and nested/harness only)\n%s", got, render(findings))
+	}
+	want(t, findings, "determinism/goroutine", "sim/pool.go", 4)
+	want(t, findings, "determinism/goroutine", "nested/harness/pool.go", 4)
+	// The allowlist covers goroutines only: wall-clock reads in the
+	// harness still need an explicit, justified waiver.
+	want(t, findings, "determinism/time", "internal/harness/pool.go", 20)
+}
+
 func TestDeterminismSkipsCmdAndRoot(t *testing.T) {
 	src := `package main
 

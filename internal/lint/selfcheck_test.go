@@ -1,8 +1,10 @@
 package lint_test
 
 import (
+	"go/ast"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"vix/internal/lint"
@@ -42,6 +44,59 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 	if len(findings) > 0 {
 		t.Logf("fix the findings or, for provably order-independent map iteration, add a justified //vixlint:ordered waiver (see package lint docs)")
+	}
+}
+
+// TestConcurrencyAllowlistIsPinned makes growing the concurrency
+// allowlist a reviewed act: the set of packages where goroutines are
+// legal is exactly internal/harness, the orchestration layer. Anyone
+// adding a package here must also update this test — and justify why the
+// new package's concurrency cannot leak scheduling into results.
+func TestConcurrencyAllowlistIsPinned(t *testing.T) {
+	want := map[string]bool{"internal/harness": true}
+	if len(lint.ConcurrencyAllowlist) != len(want) {
+		t.Fatalf("ConcurrencyAllowlist = %v, want exactly %v", lint.ConcurrencyAllowlist, want)
+	}
+	for pkg := range want {
+		if !lint.ConcurrencyAllowlist[pkg] {
+			t.Errorf("ConcurrencyAllowlist missing %q", pkg)
+		}
+	}
+}
+
+// TestHarnessIsTheOnlyConcurrentPackage walks the repo's own ASTs and
+// asserts go statements appear in internal/harness and nowhere else in
+// internal/ — the structural property the allowlist exists to protect.
+// (The goroutine rule itself is exercised on synthetic modules in
+// lint_test.go; this covers the real tree.)
+func TestHarnessIsTheOnlyConcurrentPackage(t *testing.T) {
+	mod, err := lint.Load(repoRoot(t))
+	if err != nil {
+		t.Fatalf("lint.Load: %v", err)
+	}
+	sawHarnessGoroutine := false
+	for _, pkg := range mod.Packages() {
+		pkg := pkg
+		if !strings.Contains(pkg.Path, "/internal/") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if _, ok := n.(*ast.GoStmt); !ok {
+					return true
+				}
+				if pkg.Path == "vix/internal/harness" {
+					sawHarnessGoroutine = true
+				} else {
+					t.Errorf("%s: go statement outside internal/harness at %s",
+						pkg.Path, mod.Fset.Position(n.Pos()))
+				}
+				return true
+			})
+		}
+	}
+	if !sawHarnessGoroutine {
+		t.Error("internal/harness no longer uses goroutines; if fan-out moved, move the allowlist with it")
 	}
 }
 

@@ -38,6 +38,40 @@ func (r *RNG) Fork(stream uint64) *RNG {
 	return &RNG{state: z ^ (z >> 31)}
 }
 
+// DeriveSeed derives a stable sub-seed from a root seed and a label path
+// using the 64-bit FNV-1a construction. It is the seeding counterpart to
+// Fork: where Fork splits a live generator, DeriveSeed names a stream up
+// front — the experiment harness keys each job's RNG on the job's labels
+// so every grid point replays identically whether it runs first, last,
+// serial, or on any of N workers.
+//
+// The derivation is pure stdlib arithmetic and pinned by unit tests;
+// changing it would silently re-seed every manifest, so it must never
+// drift.
+func DeriveSeed(root uint64, labels ...string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(root >> (8 * i)))
+	}
+	for _, l := range labels {
+		for i := 0; i < len(l); i++ {
+			mix(l[i])
+		}
+		// Terminate each label so ("ab","c") and ("a","bc") derive
+		// different streams.
+		mix(0)
+	}
+	return h
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
