@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint race test bench bench-json sweep experiments examples clean
+.PHONY: all build vet lint race test bench bench-json profile sweep experiments examples clean
 
 all: build vet lint test
 
@@ -45,9 +45,25 @@ sweep:
 
 # Benchmark the harness itself: serial vs parallel wall time over the
 # Figure 8 grid, recorded to BENCH_harness.json for the perf trajectory.
+# Then benchmark the serial cycle loop: cycles/sec of Network.Step on a
+# saturated VIX mesh, recorded to BENCH_cycle.json. cyclebench carries
+# the pre-optimization baseline over from the existing file, so the
+# speedup column keeps comparing against the same reference point.
 bench-json:
 	go run ./cmd/harnessbench -o BENCH_harness.json
 	@cat BENCH_harness.json
+	go run ./cmd/cyclebench -o BENCH_cycle.json
+	@cat BENCH_cycle.json
+
+# Profile a short Figure 8 sweep point (cpu + heap) into ./profiles/.
+# Inspect with: go tool pprof profiles/sweep_cpu.pprof
+profile:
+	mkdir -p profiles
+	go run ./cmd/sweep -schemes if:2 -rates 0.05 \
+		-cpuprofile profiles/sweep_cpu.pprof \
+		-memprofile profiles/sweep_mem.pprof \
+		-o /tmp/vix_profile_sweep.csv
+	@echo "wrote profiles/sweep_cpu.pprof profiles/sweep_mem.pprof"
 
 # Regenerate every table and figure at full scale (minutes).
 experiments:

@@ -1,0 +1,150 @@
+// Command cyclebench measures the serial cycle loop's raw throughput:
+// cycles/sec of Network.Step on a saturated 8x8 VIX mesh — the inner loop
+// every sweep, ablation, and Table 4 run is built from. It also reports
+// heap allocations per cycle (runtime.MemStats deltas), the number the
+// zero-allocation steady-state work drives to ~0.
+//
+// The emitted BENCH_cycle.json records a before-vs-after pair: the
+// baseline cycles/sec is taken from -baseline, or, when the output file
+// already exists, carried over from its baseline_cycles_per_sec field, so
+// `make bench-json` refreshes the measurement while preserving the
+// pre-optimization reference point.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"vix/internal/alloc"
+	"vix/internal/network"
+	"vix/internal/router"
+	"vix/internal/topology"
+	"vix/internal/traffic"
+)
+
+// report is the BENCH_cycle.json schema.
+type report struct {
+	Workload         string  `json:"workload"`
+	WarmupCycles     int     `json:"warmup_cycles"`
+	MeasureCycles    int     `json:"measure_cycles"`
+	CPUs             int     `json:"cpus"`
+	BaselineCycSec   float64 `json:"baseline_cycles_per_sec"`
+	CycSec           float64 `json:"cycles_per_sec"`
+	Speedup          float64 `json:"speedup"`
+	MallocsPerCycle  float64 `json:"mallocs_per_cycle"`
+	AllocBytesPerCyc float64 `json:"alloc_bytes_per_cycle"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cyclebench: ")
+	var (
+		out        = flag.String("o", "BENCH_cycle.json", "output file (\"-\" for stdout)")
+		warmup     = flag.Int("warmup", 3000, "warmup cycles (also grows pools/scratch to steady state)")
+		measure    = flag.Int("measure", 20000, "measurement cycles")
+		baseline   = flag.Float64("baseline", 0, "pre-change cycles/sec reference (0: carry over from existing output file)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement window to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the measurement to this file")
+	)
+	flag.Parse()
+
+	const workload = "8x8 mesh, if:2 (VIX), 6 VCs, uniform random, max injection, seed 1"
+	topo := topology.NewMesh(8, 8)
+	cfg := network.Config{
+		Topology: topo,
+		Router: router.Config{
+			Ports: topo.Radix, VCs: 6, VirtualInputs: 2, BufDepth: 5,
+			AllocKind: alloc.KindSeparableIF, Policy: router.PolicyBalanced,
+		},
+		Pattern:      traffic.NewUniform(topo.NumNodes),
+		MaxInjection: true,
+		Seed:         1,
+	}
+	n, err := network.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n.Run(*warmup)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	n.Run(*measure)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+
+	r := report{
+		Workload:         workload,
+		WarmupCycles:     *warmup,
+		MeasureCycles:    *measure,
+		CPUs:             runtime.NumCPU(),
+		CycSec:           float64(*measure) / elapsed.Seconds(),
+		MallocsPerCycle:  float64(after.Mallocs-before.Mallocs) / float64(*measure),
+		AllocBytesPerCyc: float64(after.TotalAlloc-before.TotalAlloc) / float64(*measure),
+	}
+	r.BaselineCycSec = resolveBaseline(*baseline, *out, r.CycSec)
+	r.Speedup = r.CycSec / r.BaselineCycSec
+
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("%d cycles in %v: %.0f cycles/sec (baseline %.0f, speedup %.2fx), %.1f mallocs/cycle",
+		*measure, elapsed.Round(time.Millisecond), r.CycSec, r.BaselineCycSec, r.Speedup, r.MallocsPerCycle)
+}
+
+// resolveBaseline picks the before-change reference: an explicit flag
+// wins; otherwise the existing output file's baseline is carried over;
+// a fresh file starts with the current measurement (speedup 1.0).
+func resolveBaseline(flagVal float64, out string, measured float64) float64 {
+	if flagVal > 0 {
+		return flagVal
+	}
+	if out != "-" {
+		if data, err := os.ReadFile(out); err == nil {
+			var prev report
+			if json.Unmarshal(data, &prev) == nil && prev.BaselineCycSec > 0 {
+				return prev.BaselineCycSec
+			}
+		}
+	}
+	return measured
+}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"vix/internal/experiments"
@@ -18,11 +20,38 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("routerbench: ")
 	var (
-		warmup  = flag.Int("warmup", 2000, "warmup cycles")
-		measure = flag.Int("measure", 20000, "measurement cycles")
-		seed    = flag.Uint64("seed", 1, "random seed")
+		warmup     = flag.Int("warmup", 2000, "warmup cycles")
+		measure    = flag.Int("measure", 20000, "measurement cycles")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the benchmark to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	p := experiments.DefaultParams()
 	p.Warmup, p.Measure, p.Seed = *warmup, *measure, *seed

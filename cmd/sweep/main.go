@@ -22,6 +22,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -31,6 +33,10 @@ import (
 	"vix/internal/network"
 	"vix/internal/sim"
 )
+
+// disableFlitPool is a test hook: the pooled-vs-fresh determinism test
+// reruns the sweep with flit recycling off and asserts byte-identical CSV.
+var disableFlitPool bool
 
 // scheme is one allocator:k coordinate of the grid.
 type scheme struct {
@@ -53,8 +59,35 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "worker count (default GOMAXPROCS)")
 		resume     = flag.String("resume", "", "JSONL manifest: checkpoint completed points and skip them on rerun")
 		verbose    = flag.Bool("v", false, "log per-point telemetry (wall time, cycles/sec) to stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	base := config.Default()
 	if *configPath != "" {
@@ -154,6 +187,7 @@ func buildJobs(base config.Experiment, schemes []scheme, rates []float64, satura
 				if err != nil {
 					return nil, err
 				}
+				cfg.DisableFlitPool = disableFlitPool
 				n, err := network.New(cfg)
 				if err != nil {
 					return nil, err

@@ -16,13 +16,31 @@ type SeparableAge struct {
 	cfg        Config
 	inputArbs  []arb.Arbiter
 	outputArbs []arb.Arbiter
+
+	// scratch
+	rowReqs    rowScratch
+	candidate  []int
+	contenders []int
+	rowTies    []bool
+	slotTies   []bool
+	slotToIdx  []int
+	grants     []Grant
 }
 
 // NewSeparableAge returns an oldest-first separable allocator for cfg.
 // It panics if cfg is invalid.
 func NewSeparableAge(cfg Config) *SeparableAge {
 	mustValidate(cfg)
-	s := &SeparableAge{cfg: cfg}
+	s := &SeparableAge{
+		cfg:        cfg,
+		rowReqs:    newRowScratch(cfg),
+		candidate:  make([]int, cfg.Rows()),
+		contenders: make([]int, 0, cfg.Rows()),
+		rowTies:    make([]bool, cfg.Rows()),
+		slotTies:   make([]bool, cfg.GroupSize()),
+		slotToIdx:  make([]int, cfg.GroupSize()),
+		grants:     make([]Grant, 0, cfg.Ports),
+	}
 	s.inputArbs = make([]arb.Arbiter, cfg.Rows())
 	for i := range s.inputArbs {
 		s.inputArbs[i] = arb.NewRoundRobin(cfg.GroupSize())
@@ -47,63 +65,63 @@ func (s *SeparableAge) Reset() {
 	}
 }
 
-// Allocate implements Allocator.
+// Allocate implements Allocator. The returned slice is scratch, valid
+// until the next Allocate or Reset call.
 func (s *SeparableAge) Allocate(rs *RequestSet) []Grant {
-	rows := rowRequests(rs)
+	rows := s.rowReqs.group(rs)
 
 	// Phase one: per crossbar row, the oldest request wins; the rotating
 	// arbiter decides among equally old ones.
-	candidate := make([]int, s.cfg.Rows())
-	for row := range candidate {
-		candidate[row] = s.pickOldest(rs, rows[row], s.inputArbs[row], func(idx int) int {
-			return s.cfg.Slot(rs.Requests[idx].VC)
-		})
+	for row := range s.candidate {
+		s.candidate[row] = s.pickOldest(rs, rows[row], s.inputArbs[row])
 	}
 
 	// Phase two: per output port, the oldest candidate wins.
-	grants := make([]Grant, 0, s.cfg.Ports)
+	s.grants = s.grants[:0]
 	for out := 0; out < s.cfg.Ports; out++ {
-		var contenders []int
-		for row, idx := range candidate {
+		s.contenders = s.contenders[:0]
+		for row, idx := range s.candidate {
 			if idx >= 0 && rs.Requests[idx].OutPort == out {
-				contenders = append(contenders, row)
+				s.contenders = append(s.contenders, row)
 			}
 		}
-		if len(contenders) == 0 {
+		if len(s.contenders) == 0 {
 			continue
 		}
-		rowIdxOf := func(i int) int { return candidate[contenders[i]] }
+		rowIdxOf := func(i int) int { return s.candidate[s.contenders[i]] }
 		best := 0
-		for i := 1; i < len(contenders); i++ {
+		for i := 1; i < len(s.contenders); i++ {
 			if rs.Requests[rowIdxOf(i)].Age > rs.Requests[rowIdxOf(best)].Age {
 				best = i
 			}
 		}
 		// Tie-break equally old contenders with the output's rotating
 		// arbiter for long-run fairness.
-		ties := make([]bool, s.cfg.Rows())
+		for i := range s.rowTies {
+			s.rowTies[i] = false
+		}
 		anyTie := false
-		for i := range contenders {
+		for i := range s.contenders {
 			if rs.Requests[rowIdxOf(i)].Age == rs.Requests[rowIdxOf(best)].Age {
-				ties[contenders[i]] = true
+				s.rowTies[s.contenders[i]] = true
 				anyTie = true
 			}
 		}
-		row := contenders[best]
+		row := s.contenders[best]
 		if anyTie {
-			row = s.outputArbs[out].Arbitrate(ties)
+			row = s.outputArbs[out].Arbitrate(s.rowTies)
 		}
-		req := rs.Requests[candidate[row]]
-		grants = append(grants, Grant{Port: req.Port, VC: req.VC, OutPort: out, Row: row})
+		req := rs.Requests[s.candidate[row]]
+		s.grants = append(s.grants, Grant{Port: req.Port, VC: req.VC, OutPort: out, Row: row})
 		s.outputArbs[out].Ack(row)
 		s.inputArbs[row].Ack(s.cfg.Slot(req.VC))
 	}
-	return grants
+	return s.grants
 }
 
 // pickOldest returns the request index with the greatest age among idxs,
-// using the arbiter to break ties by slot; -1 if idxs is empty.
-func (s *SeparableAge) pickOldest(rs *RequestSet, idxs []int, a arb.Arbiter, slotOf func(int) int) int {
+// using the arbiter to break ties by VC slot; -1 if idxs is empty.
+func (s *SeparableAge) pickOldest(rs *RequestSet, idxs []int, a arb.Arbiter) int {
 	if len(idxs) == 0 {
 		return -1
 	}
@@ -113,18 +131,17 @@ func (s *SeparableAge) pickOldest(rs *RequestSet, idxs []int, a arb.Arbiter, slo
 			best = idx
 		}
 	}
-	ties := make([]bool, a.Size())
-	slotToIdx := make([]int, a.Size())
-	for i := range slotToIdx {
-		slotToIdx[i] = -1
+	for i := range s.slotTies {
+		s.slotTies[i] = false
+		s.slotToIdx[i] = -1
 	}
 	count := 0
 	for _, idx := range idxs {
 		if rs.Requests[idx].Age == rs.Requests[best].Age {
-			slot := slotOf(idx)
-			if slotToIdx[slot] < 0 {
-				ties[slot] = true
-				slotToIdx[slot] = idx
+			slot := s.cfg.Slot(rs.Requests[idx].VC)
+			if s.slotToIdx[slot] < 0 {
+				s.slotTies[slot] = true
+				s.slotToIdx[slot] = idx
 				count++
 			}
 		}
@@ -132,5 +149,5 @@ func (s *SeparableAge) pickOldest(rs *RequestSet, idxs []int, a arb.Arbiter, slo
 	if count <= 1 {
 		return best
 	}
-	return slotToIdx[a.Arbitrate(ties)]
+	return s.slotToIdx[a.Arbitrate(s.slotTies)]
 }

@@ -23,6 +23,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"vix/internal/arb"
 )
 
 // Partition selects how a port's VCs are divided among its virtual
@@ -153,6 +155,13 @@ type Allocator interface {
 	// Name returns a short identifier such as "if" or "wavefront".
 	Name() string
 	// Allocate returns a conflict-free grant set for the request set.
+	//
+	// The returned slice is allocator-owned scratch: it is valid only
+	// until the next Allocate or Reset call on the same allocator, and
+	// callers that retain grants across cycles must copy them out. In
+	// exchange, a warmed-up allocator performs zero heap allocations per
+	// cycle — all working buffers are sized from Config at construction
+	// (the contracts/scratch vixlint rule pins this down).
 	Allocate(rs *RequestSet) []Grant
 	// Reset restores initial arbiter state and clears history.
 	Reset()
@@ -161,19 +170,33 @@ type Allocator interface {
 // Validate checks that grants form a legal allocation for rs: every grant
 // matches an offered request, no crossbar row is granted twice, and no
 // output port is granted twice. It returns nil for a legal allocation.
+//
+// The marks are flat slices indexed by the Config geometry rather than
+// maps, keeping the property tests that call Validate every simulated
+// cycle cheap. Grants or requests whose coordinates fall outside the
+// configured geometry can never pair up, so such grants are rejected as
+// unmatched.
 func Validate(rs *RequestSet, grants []Grant) error {
-	offered := make(map[[3]int]bool, len(rs.Requests))
-	for _, r := range rs.Requests {
-		offered[[3]int{r.Port, r.VC, r.OutPort}] = true
+	cfg := rs.Config
+	inRange := func(port, vc, out int) bool {
+		return port >= 0 && port < cfg.Ports && vc >= 0 && vc < cfg.VCs && out >= 0 && out < cfg.Ports
 	}
-	rowUsed := make(map[int]bool)
-	outUsed := make(map[int]bool)
-	vcUsed := make(map[[2]int]bool)
+	// line flattens (port, vc, out) onto a single request line index.
+	line := func(port, vc, out int) int { return (port*cfg.VCs+vc)*cfg.Ports + out }
+	offered := make([]bool, cfg.Ports*cfg.VCs*cfg.Ports)
+	for _, r := range rs.Requests {
+		if inRange(r.Port, r.VC, r.OutPort) {
+			offered[line(r.Port, r.VC, r.OutPort)] = true
+		}
+	}
+	rowUsed := make([]bool, cfg.Rows())
+	outUsed := make([]bool, cfg.Ports)
+	vcUsed := make([]bool, cfg.Ports*cfg.VCs)
 	for _, g := range grants {
-		if !offered[[3]int{g.Port, g.VC, g.OutPort}] {
+		if !inRange(g.Port, g.VC, g.OutPort) || !offered[line(g.Port, g.VC, g.OutPort)] {
 			return fmt.Errorf("alloc: grant %+v has no matching request", g)
 		}
-		if want := rs.Config.Row(g.Port, g.VC); g.Row != want {
+		if want := cfg.Row(g.Port, g.VC); g.Row != want {
 			return fmt.Errorf("alloc: grant %+v has row %d, want %d", g, g.Row, want)
 		}
 		if rowUsed[g.Row] {
@@ -182,23 +205,107 @@ func Validate(rs *RequestSet, grants []Grant) error {
 		if outUsed[g.OutPort] {
 			return fmt.Errorf("alloc: output port %d granted twice", g.OutPort)
 		}
-		if vcUsed[[2]int{g.Port, g.VC}] {
+		if vcUsed[g.Port*cfg.VCs+g.VC] {
 			return fmt.Errorf("alloc: VC (%d,%d) granted twice", g.Port, g.VC)
 		}
 		rowUsed[g.Row] = true
 		outUsed[g.OutPort] = true
-		vcUsed[[2]int{g.Port, g.VC}] = true
+		vcUsed[g.Port*cfg.VCs+g.VC] = true
 	}
 	return nil
 }
 
-// rowRequests groups the request indices of rs by crossbar row.
-// The returned slice has Config.Rows() entries.
-func rowRequests(rs *RequestSet) [][]int {
-	rows := make([][]int, rs.Config.Rows())
+// rowScratch groups request indices by crossbar row without per-cycle
+// allocation: the per-row lists are truncated and refilled on every
+// group call, so their backing arrays reach steady state and stay there.
+type rowScratch struct {
+	rows [][]int
+}
+
+// newRowScratch sizes the per-row lists for cfg.
+func newRowScratch(cfg Config) rowScratch {
+	return rowScratch{rows: make([][]int, cfg.Rows())}
+}
+
+// group refills the per-row request-index lists from rs and returns
+// them; the result has Config.Rows() entries and is valid until the
+// next group call.
+func (s *rowScratch) group(rs *RequestSet) [][]int {
+	for i := range s.rows {
+		s.rows[i] = s.rows[i][:0]
+	}
 	for i, r := range rs.Requests {
 		row := rs.Config.Row(r.Port, r.VC)
-		rows[row] = append(rows[row], i)
+		s.rows[row] = append(s.rows[row], i)
 	}
-	return rows
+	return s.rows
+}
+
+// cellScratch groups request indices by (crossbar row, output port) cell
+// of the request matrix, replacing the per-cycle maps the matrix-style
+// allocators (wavefront, augmenting-path, iSLIP) used to build.
+type cellScratch struct {
+	outs  int
+	cells [][]int // cells[row*outs+out] = request indices, refilled per cycle
+}
+
+// newCellScratch sizes the cell lists for cfg.
+func newCellScratch(cfg Config) cellScratch {
+	return cellScratch{outs: cfg.Ports, cells: make([][]int, cfg.Rows()*cfg.Ports)}
+}
+
+// clear truncates every cell list for the next cycle.
+func (s *cellScratch) clear() {
+	for i := range s.cells {
+		s.cells[i] = s.cells[i][:0]
+	}
+}
+
+// add appends a request index to the (row, out) cell.
+func (s *cellScratch) add(row, out, idx int) {
+	s.cells[row*s.outs+out] = append(s.cells[row*s.outs+out], idx)
+}
+
+// at returns the request indices of the (row, out) cell.
+func (s *cellScratch) at(row, out int) []int {
+	return s.cells[row*s.outs+out]
+}
+
+// vcPickScratch is the slot-mapping scratch behind the per-row VC choice
+// shared by the matrix-style allocators: it maps each input-arbiter slot
+// of a row onto the request index offered by the VC in that slot.
+type vcPickScratch struct {
+	slotReq   []bool
+	slotToReq []int
+}
+
+// newVCPickScratch sizes the slot vectors for cfg.
+func newVCPickScratch(cfg Config) vcPickScratch {
+	return vcPickScratch{
+		slotReq:   make([]bool, cfg.GroupSize()),
+		slotToReq: make([]int, cfg.GroupSize()),
+	}
+}
+
+// pick selects which of a row's requests wins via the row's round-robin
+// arbiter (advancing it), mirroring the one-VC-per-slot mapping the
+// hardware input arbiter sees. len(reqIdxs) must be at least 1.
+func (s *vcPickScratch) pick(cfg Config, rs *RequestSet, reqIdxs []int, a arb.Arbiter) int {
+	if len(reqIdxs) == 1 {
+		return reqIdxs[0]
+	}
+	for i := range s.slotReq {
+		s.slotReq[i] = false
+		s.slotToReq[i] = -1
+	}
+	for _, idx := range reqIdxs {
+		slot := cfg.Slot(rs.Requests[idx].VC)
+		s.slotReq[slot] = true
+		if s.slotToReq[slot] < 0 {
+			s.slotToReq[slot] = idx
+		}
+	}
+	slot := a.Arbitrate(s.slotReq)
+	a.Ack(slot)
+	return s.slotToReq[slot]
 }

@@ -19,9 +19,12 @@ type AugmentingPath struct {
 	vcPick []arb.Arbiter // per row, selects the transmitting VC
 
 	// scratch for matching
-	adj     [][]int // adj[row] = outputs requested
-	matchTo []int   // matchTo[out] = row, -1 if free
-	visited []bool
+	adj      [][]int // adj[row] = outputs requested
+	matchTo  []int   // matchTo[out] = row, -1 if free
+	visited  []bool
+	cellReqs cellScratch
+	slots    vcPickScratch
+	grants   []Grant
 }
 
 // NewAugmentingPath returns a maximum-matching allocator for cfg. It
@@ -29,10 +32,13 @@ type AugmentingPath struct {
 func NewAugmentingPath(cfg Config) *AugmentingPath {
 	mustValidate(cfg)
 	a := &AugmentingPath{
-		cfg:     cfg,
-		adj:     make([][]int, cfg.Rows()),
-		matchTo: make([]int, cfg.Ports),
-		visited: make([]bool, cfg.Ports),
+		cfg:      cfg,
+		adj:      make([][]int, cfg.Rows()),
+		matchTo:  make([]int, cfg.Ports),
+		visited:  make([]bool, cfg.Ports),
+		cellReqs: newCellScratch(cfg),
+		slots:    newVCPickScratch(cfg),
+		grants:   make([]Grant, 0, cfg.Ports),
 	}
 	a.vcPick = make([]arb.Arbiter, cfg.Rows())
 	for i := range a.vcPick {
@@ -51,21 +57,21 @@ func (a *AugmentingPath) Reset() {
 	}
 }
 
-// Allocate implements Allocator.
+// Allocate implements Allocator. The returned slice is scratch, valid
+// until the next Allocate or Reset call.
 func (a *AugmentingPath) Allocate(rs *RequestSet) []Grant {
 	rows := a.cfg.Rows()
 	for i := 0; i < rows; i++ {
 		a.adj[i] = a.adj[i][:0]
 	}
 	// Representative request per (row, out); VC choice refined afterwards.
-	rep := make(map[[2]int][]int)
+	a.cellReqs.clear()
 	for idx, r := range rs.Requests {
 		row := a.cfg.Row(r.Port, r.VC)
-		key := [2]int{row, r.OutPort}
-		if len(rep[key]) == 0 {
+		if len(a.cellReqs.at(row, r.OutPort)) == 0 {
 			a.adj[row] = append(a.adj[row], r.OutPort)
 		}
-		rep[key] = append(rep[key], idx)
+		a.cellReqs.add(row, r.OutPort, idx)
 	}
 	for i := range a.matchTo {
 		a.matchTo[i] = -1
@@ -80,16 +86,16 @@ func (a *AugmentingPath) Allocate(rs *RequestSet) []Grant {
 		a.augment(row)
 	}
 
-	var grants []Grant
+	a.grants = a.grants[:0]
 	for out, row := range a.matchTo {
 		if row < 0 {
 			continue
 		}
-		idx := a.pickVC(rs, rep[[2]int{row, out}], row)
+		idx := a.slots.pick(a.cfg, rs, a.cellReqs.at(row, out), a.vcPick[row])
 		req := rs.Requests[idx]
-		grants = append(grants, Grant{Port: req.Port, VC: req.VC, OutPort: out, Row: row})
+		a.grants = append(a.grants, Grant{Port: req.Port, VC: req.VC, OutPort: out, Row: row})
 	}
-	return grants
+	return a.grants
 }
 
 // augment tries to find an augmenting path from row; it returns true and
@@ -106,25 +112,4 @@ func (a *AugmentingPath) augment(row int) bool {
 		}
 	}
 	return false
-}
-
-func (a *AugmentingPath) pickVC(rs *RequestSet, reqIdxs []int, row int) int {
-	if len(reqIdxs) == 1 {
-		return reqIdxs[0]
-	}
-	slotReq := make([]bool, a.cfg.GroupSize())
-	slotToReq := make([]int, a.cfg.GroupSize())
-	for i := range slotToReq {
-		slotToReq[i] = -1
-	}
-	for _, idx := range reqIdxs {
-		slot := a.cfg.Slot(rs.Requests[idx].VC)
-		slotReq[slot] = true
-		if slotToReq[slot] < 0 {
-			slotToReq[slot] = idx
-		}
-	}
-	slot := a.vcPick[row].Arbitrate(slotReq)
-	a.vcPick[row].Ack(slot)
-	return slotToReq[slot]
 }

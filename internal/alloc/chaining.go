@@ -21,8 +21,12 @@ type PacketChaining struct {
 	prevOut []int
 
 	// scratch
-	chainVC []arb2 // per row: rotating pick among VCs eligible to chain
-	rest    RequestSet
+	chainVC    []arb2 // per row: rotating pick among VCs eligible to chain
+	rest       RequestSet
+	rowReqs    rowScratch
+	rowChained []bool
+	outChained []bool
+	grants     []Grant
 }
 
 // arb2 is a tiny rotating pointer used for chained-VC selection; a full
@@ -47,10 +51,14 @@ func (a *arb2) pick(n int, ok func(i int) bool) int {
 func NewPacketChaining(cfg Config) *PacketChaining {
 	mustValidate(cfg)
 	p := &PacketChaining{
-		cfg:     cfg,
-		inner:   NewSeparableIF(cfg),
-		prevOut: make([]int, cfg.Rows()),
-		chainVC: make([]arb2, cfg.Rows()),
+		cfg:        cfg,
+		inner:      NewSeparableIF(cfg),
+		prevOut:    make([]int, cfg.Rows()),
+		chainVC:    make([]arb2, cfg.Rows()),
+		rowReqs:    newRowScratch(cfg),
+		rowChained: make([]bool, cfg.Rows()),
+		outChained: make([]bool, cfg.Ports),
+		grants:     make([]Grant, 0, cfg.Ports),
 	}
 	for i := range p.prevOut {
 		p.prevOut[i] = -1
@@ -72,17 +80,22 @@ func (p *PacketChaining) Reset() {
 	}
 }
 
-// Allocate implements Allocator.
+// Allocate implements Allocator. The returned slice is scratch, valid
+// until the next Allocate or Reset call.
 func (p *PacketChaining) Allocate(rs *RequestSet) []Grant {
-	rows := rowRequests(rs)
-	rowChained := make([]bool, p.cfg.Rows())
-	outChained := make([]bool, p.cfg.Ports)
-	var grants []Grant
+	rows := p.rowReqs.group(rs)
+	for i := range p.rowChained {
+		p.rowChained[i] = false
+	}
+	for i := range p.outChained {
+		p.outChained[i] = false
+	}
+	p.grants = p.grants[:0]
 
 	// Phase zero: preserve last cycle's connections where any VC of the
 	// row requests the same output (SameInput, anyVC).
 	for row, out := range p.prevOut {
-		if out < 0 || outChained[out] {
+		if out < 0 || p.outChained[out] {
 			continue
 		}
 		idxs := rows[row]
@@ -96,29 +109,31 @@ func (p *PacketChaining) Allocate(rs *RequestSet) []Grant {
 			continue
 		}
 		req := rs.Requests[idxs[pick]]
-		grants = append(grants, Grant{Port: req.Port, VC: req.VC, OutPort: out, Row: row})
-		rowChained[row] = true
-		outChained[out] = true
+		p.grants = append(p.grants, Grant{Port: req.Port, VC: req.VC, OutPort: out, Row: row})
+		p.rowChained[row] = true
+		p.outChained[out] = true
 	}
 
-	// Run the separable allocator on the unchained remainder.
+	// Run the separable allocator on the unchained remainder. The inner
+	// allocator returns its own scratch; appending copies the grant values
+	// out before they can be invalidated.
 	p.rest.Config = rs.Config
 	p.rest.Requests = p.rest.Requests[:0]
 	for _, r := range rs.Requests {
 		row := p.cfg.Row(r.Port, r.VC)
-		if rowChained[row] || outChained[r.OutPort] {
+		if p.rowChained[row] || p.outChained[r.OutPort] {
 			continue
 		}
 		p.rest.Requests = append(p.rest.Requests, r)
 	}
-	grants = append(grants, p.inner.Allocate(&p.rest)...)
+	p.grants = append(p.grants, p.inner.Allocate(&p.rest)...)
 
 	// Record this cycle's connections for chaining next cycle.
 	for i := range p.prevOut {
 		p.prevOut[i] = -1
 	}
-	for _, g := range grants {
+	for _, g := range p.grants {
 		p.prevOut[g.Row] = g.OutPort
 	}
-	return grants
+	return p.grants
 }

@@ -18,6 +18,8 @@ type Ideal struct {
 	outArbs []arb.Arbiter // per output, over Ports*VCs request lines
 	reqVec  []bool
 	reqIdx  []int
+	byOut   [][]int // scratch: request indices grouped by output
+	grants  []Grant
 }
 
 // NewIdeal returns an ideal allocator for cfg. It panics if cfg is
@@ -29,6 +31,8 @@ func NewIdeal(cfg Config) *Ideal {
 		cfg:    cfg,
 		reqVec: make([]bool, n),
 		reqIdx: make([]int, n),
+		byOut:  make([][]int, cfg.Ports),
+		grants: make([]Grant, 0, cfg.Ports),
 	}
 	id.outArbs = make([]arb.Arbiter, cfg.Ports)
 	for i := range id.outArbs {
@@ -47,15 +51,18 @@ func (id *Ideal) Reset() {
 	}
 }
 
-// Allocate implements Allocator.
+// Allocate implements Allocator. The returned slice is scratch, valid
+// until the next Allocate or Reset call.
 func (id *Ideal) Allocate(rs *RequestSet) []Grant {
 	// Group requests by output.
-	byOut := make([][]int, id.cfg.Ports)
-	for idx, r := range rs.Requests {
-		byOut[r.OutPort] = append(byOut[r.OutPort], idx)
+	for i := range id.byOut {
+		id.byOut[i] = id.byOut[i][:0]
 	}
-	var grants []Grant
-	for out, idxs := range byOut {
+	for idx, r := range rs.Requests {
+		id.byOut[r.OutPort] = append(id.byOut[r.OutPort], idx)
+	}
+	id.grants = id.grants[:0]
+	for out, idxs := range id.byOut {
 		if len(idxs) == 0 {
 			continue
 		}
@@ -72,12 +79,12 @@ func (id *Ideal) Allocate(rs *RequestSet) []Grant {
 		line := id.outArbs[out].Arbitrate(id.reqVec)
 		id.outArbs[out].Ack(line)
 		req := rs.Requests[id.reqIdx[line]]
-		grants = append(grants, Grant{
+		id.grants = append(id.grants, Grant{
 			Port:    req.Port,
 			VC:      req.VC,
 			OutPort: out,
 			Row:     rs.Config.Row(req.Port, req.VC),
 		})
 	}
-	return grants
+	return id.grants
 }

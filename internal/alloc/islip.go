@@ -26,8 +26,17 @@ type ISLIP struct {
 	acceptArbs []arb.Arbiter // per row, over outputs
 	vcPick     []arb.Arbiter // per row, over sub-group VC slots
 
-	rowVec []bool
-	outVec []bool
+	// scratch
+	rowVec   []bool
+	outVec   []bool
+	req      [][]bool // req[row][out]: any VC of the row requests out
+	cellReqs cellScratch
+	rowDone  []bool
+	outDone  []bool
+	granted  []int    // per row: number of outputs granting to it this iteration
+	grantsTo [][]bool // grantsTo[row][out]: out granted to row this iteration
+	slots    vcPickScratch
+	grants   []Grant
 }
 
 // NewISLIP returns an iSLIP allocator running the given number of
@@ -42,6 +51,18 @@ func NewISLIP(cfg Config, iterations int) *ISLIP {
 		iterations: iterations,
 		rowVec:     make([]bool, cfg.Rows()),
 		outVec:     make([]bool, cfg.Ports),
+		req:        make([][]bool, cfg.Rows()),
+		cellReqs:   newCellScratch(cfg),
+		rowDone:    make([]bool, cfg.Rows()),
+		outDone:    make([]bool, cfg.Ports),
+		granted:    make([]int, cfg.Rows()),
+		grantsTo:   make([][]bool, cfg.Rows()),
+		slots:      newVCPickScratch(cfg),
+		grants:     make([]Grant, 0, cfg.Ports),
+	}
+	for i := range s.req {
+		s.req[i] = make([]bool, cfg.Ports)
+		s.grantsTo[i] = make([]bool, cfg.Ports)
 	}
 	s.grantArbs = make([]arb.Arbiter, cfg.Ports)
 	for i := range s.grantArbs {
@@ -75,49 +96,55 @@ func (s *ISLIP) Reset() {
 	}
 }
 
-// Allocate implements Allocator.
+// Allocate implements Allocator. The returned slice is scratch, valid
+// until the next Allocate or Reset call.
 func (s *ISLIP) Allocate(rs *RequestSet) []Grant {
 	rows, outs := s.cfg.Rows(), s.cfg.Ports
-	// req[row][out] true if any VC of the row requests out; cells holds
-	// the request indices per (row, out) for VC selection.
-	req := make([][]bool, rows)
-	for i := range req {
-		req[i] = make([]bool, outs)
+	// req[row][out] true if any VC of the row requests out; the cell
+	// scratch holds the request indices per (row, out) for VC selection.
+	for i := range s.req {
+		for j := range s.req[i] {
+			s.req[i][j] = false
+		}
 	}
-	cells := make(map[[2]int][]int)
+	s.cellReqs.clear()
 	for idx, r := range rs.Requests {
 		row := s.cfg.Row(r.Port, r.VC)
-		req[row][r.OutPort] = true
-		key := [2]int{row, r.OutPort}
-		cells[key] = append(cells[key], idx)
+		s.req[row][r.OutPort] = true
+		s.cellReqs.add(row, r.OutPort, idx)
 	}
 
-	rowDone := make([]bool, rows)
-	outDone := make([]bool, outs)
-	var grants []Grant
+	for i := range s.rowDone {
+		s.rowDone[i] = false
+	}
+	for i := range s.outDone {
+		s.outDone[i] = false
+	}
+	s.grants = s.grants[:0]
 
 	for iter := 0; iter < s.iterations; iter++ {
 		// Grant phase: each unmatched output picks one requesting,
 		// unmatched row.
-		granted := make([]int, rows) // granted[row] collects outputs as a bitset index list
-		grantsTo := make([][]bool, rows)
+		for row := 0; row < rows; row++ {
+			s.granted[row] = 0
+			for j := range s.grantsTo[row] {
+				s.grantsTo[row][j] = false
+			}
+		}
 		any := false
 		for out := 0; out < outs; out++ {
-			if outDone[out] {
+			if s.outDone[out] {
 				continue
 			}
 			for row := 0; row < rows; row++ {
-				s.rowVec[row] = !rowDone[row] && req[row][out]
+				s.rowVec[row] = !s.rowDone[row] && s.req[row][out]
 			}
 			row := s.grantArbs[out].Arbitrate(s.rowVec)
 			if row < 0 {
 				continue
 			}
-			if grantsTo[row] == nil {
-				grantsTo[row] = make([]bool, outs)
-			}
-			grantsTo[row][out] = true
-			granted[row]++
+			s.grantsTo[row][out] = true
+			s.granted[row]++
 			any = true
 		}
 		if !any {
@@ -126,18 +153,18 @@ func (s *ISLIP) Allocate(rs *RequestSet) []Grant {
 		// Accept phase: each row with offers accepts one output.
 		progress := false
 		for row := 0; row < rows; row++ {
-			if rowDone[row] || granted[row] == 0 {
+			if s.rowDone[row] || s.granted[row] == 0 {
 				continue
 			}
-			out := s.acceptArbs[row].Arbitrate(grantsTo[row])
+			out := s.acceptArbs[row].Arbitrate(s.grantsTo[row])
 			if out < 0 {
 				continue
 			}
-			idx := s.pickVC(rs, cells[[2]int{row, out}], row)
+			idx := s.slots.pick(s.cfg, rs, s.cellReqs.at(row, out), s.vcPick[row])
 			r := rs.Requests[idx]
-			grants = append(grants, Grant{Port: r.Port, VC: r.VC, OutPort: out, Row: row})
-			rowDone[row] = true
-			outDone[out] = true
+			s.grants = append(s.grants, Grant{Port: r.Port, VC: r.VC, OutPort: out, Row: row})
+			s.rowDone[row] = true
+			s.outDone[out] = true
 			progress = true
 			// iSLIP pointer discipline: update only on first-iteration
 			// accepts so pointers desynchronise.
@@ -150,26 +177,5 @@ func (s *ISLIP) Allocate(rs *RequestSet) []Grant {
 			break
 		}
 	}
-	return grants
-}
-
-func (s *ISLIP) pickVC(rs *RequestSet, reqIdxs []int, row int) int {
-	if len(reqIdxs) == 1 {
-		return reqIdxs[0]
-	}
-	slotReq := make([]bool, s.cfg.GroupSize())
-	slotToReq := make([]int, s.cfg.GroupSize())
-	for i := range slotToReq {
-		slotToReq[i] = -1
-	}
-	for _, idx := range reqIdxs {
-		slot := s.cfg.Slot(rs.Requests[idx].VC)
-		slotReq[slot] = true
-		if slotToReq[slot] < 0 {
-			slotToReq[slot] = idx
-		}
-	}
-	slot := s.vcPick[row].Arbitrate(slotReq)
-	s.vcPick[row].Ack(slot)
-	return slotToReq[slot]
+	return s.grants
 }

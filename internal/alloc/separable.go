@@ -25,6 +25,9 @@ type SeparableIF struct {
 	slotReq   []bool
 	rowReq    []bool
 	candidate []int // per row: winning request index, -1 if none
+	slotToReq []int // per slot: offered request index, -1 if none
+	rowReqs   rowScratch
+	grants    []Grant
 }
 
 // NewSeparableIF returns a separable input-first allocator for cfg.
@@ -36,6 +39,9 @@ func NewSeparableIF(cfg Config) *SeparableIF {
 		slotReq:   make([]bool, cfg.GroupSize()),
 		rowReq:    make([]bool, cfg.Rows()),
 		candidate: make([]int, cfg.Rows()),
+		slotToReq: make([]int, cfg.GroupSize()),
+		rowReqs:   newRowScratch(cfg),
+		grants:    make([]Grant, 0, cfg.Ports),
 	}
 	s.inputArbs = make([]arb.Arbiter, cfg.Rows())
 	for i := range s.inputArbs {
@@ -63,9 +69,10 @@ func (s *SeparableIF) Reset() {
 	}
 }
 
-// Allocate implements Allocator.
+// Allocate implements Allocator. The returned slice is scratch, valid
+// until the next Allocate or Reset call.
 func (s *SeparableIF) Allocate(rs *RequestSet) []Grant {
-	rows := rowRequests(rs)
+	rows := s.rowReqs.group(rs)
 
 	// Phase one: each crossbar row's input arbiter picks one VC.
 	for row := range s.candidate {
@@ -77,7 +84,7 @@ func (s *SeparableIF) Allocate(rs *RequestSet) []Grant {
 			s.slotReq[i] = false
 		}
 		// Map request indices onto arbiter slots.
-		slotToReq := s.slotScratch(rows[row], rs)
+		slotToReq := s.fillSlots(rows[row], rs)
 		for slot, reqIdx := range slotToReq {
 			s.slotReq[slot] = reqIdx >= 0
 		}
@@ -87,7 +94,7 @@ func (s *SeparableIF) Allocate(rs *RequestSet) []Grant {
 	}
 
 	// Phase two: each output arbiter picks one row among candidates.
-	grants := make([]Grant, 0, s.cfg.Ports)
+	s.grants = s.grants[:0]
 	for out := 0; out < s.cfg.Ports; out++ {
 		for i := range s.rowReq {
 			s.rowReq[i] = false
@@ -104,27 +111,27 @@ func (s *SeparableIF) Allocate(rs *RequestSet) []Grant {
 		}
 		row := s.outputArbs[out].Arbitrate(s.rowReq)
 		req := rs.Requests[s.candidate[row]]
-		grants = append(grants, Grant{Port: req.Port, VC: req.VC, OutPort: out, Row: row})
+		s.grants = append(s.grants, Grant{Port: req.Port, VC: req.VC, OutPort: out, Row: row})
 		// iSLIP pointer update: both arbiters advance only on a grant.
 		s.outputArbs[out].Ack(row)
 		s.inputArbs[row].Ack(s.cfg.Slot(req.VC))
 	}
-	return grants
+	return s.grants
 }
 
-// slotScratch maps each input-arbiter slot of a row to the index of the
+// fillSlots maps each input-arbiter slot of a row to the index of the
 // request offered by the VC in that slot, or -1. At most one request per
-// VC is assumed (callers offer one request per head flit).
-func (s *SeparableIF) slotScratch(reqIdxs []int, rs *RequestSet) []int {
-	slots := make([]int, s.cfg.GroupSize())
-	for i := range slots {
-		slots[i] = -1
+// VC is assumed (callers offer one request per head flit). The returned
+// slice is the allocator's scratch, valid until the next call.
+func (s *SeparableIF) fillSlots(reqIdxs []int, rs *RequestSet) []int {
+	for i := range s.slotToReq {
+		s.slotToReq[i] = -1
 	}
 	for _, idx := range reqIdxs {
 		slot := s.cfg.Slot(rs.Requests[idx].VC)
-		if slots[slot] < 0 {
-			slots[slot] = idx
+		if s.slotToReq[slot] < 0 {
+			s.slotToReq[slot] = idx
 		}
 	}
-	return slots
+	return s.slotToReq
 }

@@ -25,6 +25,26 @@ type Sparoflo struct {
 	inputArbs  []arb.Arbiter // per port, over VCs: picks exposure order
 	outputArbs []arb.Arbiter // per output, over Ports*exposed candidates
 	portPick   []arb.Arbiter // per port, over outputs: resolves conflicts
+
+	// scratch
+	perPort   [][]int // request indices by port
+	vcOf      [][]bool
+	vcReq     [][]int
+	avail     []bool
+	cands     []sparofloCand
+	outWinner []int // candidate index per output, -1 none
+	reqVec    []bool
+	byLine    []int
+	winsOf    [][]bool // per port: which outputs won it
+	hasWin    []bool
+	grants    []Grant
+}
+
+// sparofloCand is one VC request exposed to output arbitration.
+type sparofloCand struct {
+	reqIdx int
+	port   int
+	lane   int // exposure lane within the port
 }
 
 // NewSparoflo returns a SPAROFLO-style allocator exposing up to two
@@ -47,6 +67,22 @@ func NewSparoflo(cfg Config) *Sparoflo {
 	for i := range s.outputArbs {
 		s.outputArbs[i] = arb.NewRoundRobin(cfg.Ports * s.exposed)
 	}
+	s.perPort = make([][]int, cfg.Ports)
+	s.vcOf = make([][]bool, cfg.Ports)
+	s.vcReq = make([][]int, cfg.Ports)
+	s.winsOf = make([][]bool, cfg.Ports)
+	for p := 0; p < cfg.Ports; p++ {
+		s.vcOf[p] = make([]bool, cfg.VCs)
+		s.vcReq[p] = make([]int, cfg.VCs)
+		s.winsOf[p] = make([]bool, cfg.Ports)
+	}
+	s.avail = make([]bool, cfg.VCs)
+	s.cands = make([]sparofloCand, 0, cfg.Ports*s.exposed)
+	s.outWinner = make([]int, cfg.Ports)
+	s.reqVec = make([]bool, cfg.Ports*s.exposed)
+	s.byLine = make([]int, cfg.Ports*s.exposed)
+	s.hasWin = make([]bool, cfg.Ports)
+	s.grants = make([]Grant, 0, cfg.Ports)
 	return s
 }
 
@@ -66,43 +102,36 @@ func (s *Sparoflo) Reset() {
 	}
 }
 
-// Allocate implements Allocator.
+// Allocate implements Allocator. The returned slice is scratch, valid
+// until the next Allocate or Reset call.
 func (s *Sparoflo) Allocate(rs *RequestSet) []Grant {
 	ports := s.cfg.Ports
 	// Per port, select up to `exposed` candidate requests with the input
 	// arbiter (rotating priority across VCs).
-	type candidate struct {
-		reqIdx int
-		port   int
-		lane   int // exposure lane within the port
-	}
-	perPort := make([][]int, ports) // request indices by port
-	vcOf := make([][]bool, ports)
-	vcReq := make([][]int, ports)
 	for p := 0; p < ports; p++ {
-		vcOf[p] = make([]bool, s.cfg.VCs)
-		vcReq[p] = make([]int, s.cfg.VCs)
-		for v := range vcReq[p] {
-			vcReq[p][v] = -1
+		s.perPort[p] = s.perPort[p][:0]
+		for v := 0; v < s.cfg.VCs; v++ {
+			s.vcOf[p][v] = false
+			s.vcReq[p][v] = -1
 		}
 	}
 	for idx, r := range rs.Requests {
-		if vcReq[r.Port][r.VC] < 0 {
-			vcOf[r.Port][r.VC] = true
-			vcReq[r.Port][r.VC] = idx
-			perPort[r.Port] = append(perPort[r.Port], idx)
+		if s.vcReq[r.Port][r.VC] < 0 {
+			s.vcOf[r.Port][r.VC] = true
+			s.vcReq[r.Port][r.VC] = idx
+			s.perPort[r.Port] = append(s.perPort[r.Port], idx)
 		}
 	}
-	cands := make([]candidate, 0, ports*s.exposed)
+	s.cands = s.cands[:0]
 	for p := 0; p < ports; p++ {
-		avail := append([]bool(nil), vcOf[p]...)
+		copy(s.avail, s.vcOf[p])
 		for lane := 0; lane < s.exposed; lane++ {
-			vc := s.inputArbs[p].Arbitrate(avail)
+			vc := s.inputArbs[p].Arbitrate(s.avail)
 			if vc < 0 {
 				break
 			}
-			avail[vc] = false
-			cands = append(cands, candidate{reqIdx: vcReq[p][vc], port: p, lane: lane})
+			s.avail[vc] = false
+			s.cands = append(s.cands, sparofloCand{reqIdx: s.vcReq[p][vc], port: p, lane: lane})
 			if lane == 0 {
 				s.inputArbs[p].Ack(vc)
 			}
@@ -110,58 +139,58 @@ func (s *Sparoflo) Allocate(rs *RequestSet) []Grant {
 	}
 
 	// Output arbitration over the exposed candidates.
-	line := func(c candidate) int { return c.port*s.exposed + c.lane }
-	outWinner := make([]int, ports) // candidate index per output, -1 none
-	for out := range outWinner {
-		outWinner[out] = -1
+	line := func(c sparofloCand) int { return c.port*s.exposed + c.lane }
+	for out := range s.outWinner {
+		s.outWinner[out] = -1
 	}
-	reqVec := make([]bool, ports*s.exposed)
-	byLine := make([]int, ports*s.exposed)
 	for out := 0; out < ports; out++ {
-		for i := range reqVec {
-			reqVec[i] = false
-			byLine[i] = -1
+		for i := range s.reqVec {
+			s.reqVec[i] = false
+			s.byLine[i] = -1
 		}
 		any := false
-		for ci, c := range cands {
+		for ci, c := range s.cands {
 			if rs.Requests[c.reqIdx].OutPort != out {
 				continue
 			}
-			reqVec[line(c)] = true
-			byLine[line(c)] = ci
+			s.reqVec[line(c)] = true
+			s.byLine[line(c)] = ci
 			any = true
 		}
 		if !any {
 			continue
 		}
-		l := s.outputArbs[out].Arbitrate(reqVec)
-		outWinner[out] = byLine[l]
+		l := s.outputArbs[out].Arbitrate(s.reqVec)
+		s.outWinner[out] = s.byLine[l]
 		s.outputArbs[out].Ack(l)
 	}
 
 	// Conflict detection: multiple outputs may have picked VCs of the
 	// same input port; only one can use the port's single crossbar
 	// input. The port's rotating priority chooses which grant survives.
-	winsOf := make([][]bool, ports) // per port: which outputs won it
-	for out, ci := range outWinner {
+	for p := 0; p < ports; p++ {
+		s.hasWin[p] = false
+		for out := range s.winsOf[p] {
+			s.winsOf[p][out] = false
+		}
+	}
+	for out, ci := range s.outWinner {
 		if ci < 0 {
 			continue
 		}
-		p := cands[ci].port
-		if winsOf[p] == nil {
-			winsOf[p] = make([]bool, ports)
-		}
-		winsOf[p][out] = true
+		p := s.cands[ci].port
+		s.winsOf[p][out] = true
+		s.hasWin[p] = true
 	}
-	var grants []Grant
+	s.grants = s.grants[:0]
 	for p := 0; p < ports; p++ {
-		if winsOf[p] == nil {
+		if !s.hasWin[p] {
 			continue
 		}
-		out := s.portPick[p].Arbitrate(winsOf[p])
+		out := s.portPick[p].Arbitrate(s.winsOf[p])
 		s.portPick[p].Ack(out)
-		r := rs.Requests[cands[outWinner[out]].reqIdx]
-		grants = append(grants, Grant{Port: r.Port, VC: r.VC, OutPort: out, Row: rs.Config.Row(r.Port, r.VC)})
+		r := rs.Requests[s.cands[s.outWinner[out]].reqIdx]
+		s.grants = append(s.grants, Grant{Port: r.Port, VC: r.VC, OutPort: out, Row: rs.Config.Row(r.Port, r.VC)})
 	}
-	return grants
+	return s.grants
 }

@@ -25,9 +25,12 @@ type Wavefront struct {
 	vcPick []arb.Arbiter // per row: picks among sub-group VCs requesting the granted output
 
 	// scratch
-	cell    [][]int // cell[row][out] = request index representative, -1 if none
-	rowBusy []bool
-	outBusy []bool
+	cell     [][]int // cell[row][out] = request index representative, -1 if none
+	rowBusy  []bool
+	outBusy  []bool
+	cellReqs cellScratch
+	slots    vcPickScratch
+	grants   []Grant
 }
 
 // NewWavefront returns a wavefront allocator for cfg. It panics if cfg is
@@ -35,9 +38,12 @@ type Wavefront struct {
 func NewWavefront(cfg Config) *Wavefront {
 	mustValidate(cfg)
 	w := &Wavefront{
-		cfg:     cfg,
-		rowBusy: make([]bool, cfg.Rows()),
-		outBusy: make([]bool, cfg.Ports),
+		cfg:      cfg,
+		rowBusy:  make([]bool, cfg.Rows()),
+		outBusy:  make([]bool, cfg.Ports),
+		cellReqs: newCellScratch(cfg),
+		slots:    newVCPickScratch(cfg),
+		grants:   make([]Grant, 0, cfg.Ports),
 	}
 	w.cell = make([][]int, cfg.Rows())
 	for i := range w.cell {
@@ -61,7 +67,8 @@ func (w *Wavefront) Reset() {
 	}
 }
 
-// Allocate implements Allocator.
+// Allocate implements Allocator. The returned slice is scratch, valid
+// until the next Allocate or Reset call.
 func (w *Wavefront) Allocate(rs *RequestSet) []Grant {
 	rows, outs := w.cfg.Rows(), w.cfg.Ports
 	for i := 0; i < rows; i++ {
@@ -75,14 +82,12 @@ func (w *Wavefront) Allocate(rs *RequestSet) []Grant {
 	}
 
 	// Populate the request matrix. When several VCs of one row request the
-	// same output, the row's VC arbiter chooses among them below; here we
-	// record all of them per cell via a slot-request vector rebuilt lazily.
-	type cellVCs struct{ reqIdxs []int }
-	multi := make(map[[2]int][]int)
+	// same output, the row's VC arbiter chooses among them below; the cell
+	// scratch records all of them per (row, out) pair.
+	w.cellReqs.clear()
 	for idx, r := range rs.Requests {
 		row := w.cfg.Row(r.Port, r.VC)
-		key := [2]int{row, r.OutPort}
-		multi[key] = append(multi[key], idx)
+		w.cellReqs.add(row, r.OutPort, idx)
 		w.cell[row][r.OutPort] = idx
 	}
 
@@ -90,7 +95,7 @@ func (w *Wavefront) Allocate(rs *RequestSet) []Grant {
 	if outs > n {
 		n = outs
 	}
-	var grants []Grant
+	w.grants = w.grants[:0]
 	for d := 0; d < n; d++ {
 		diag := (w.prio + d) % n
 		for i := 0; i < rows; i++ {
@@ -102,36 +107,13 @@ func (w *Wavefront) Allocate(rs *RequestSet) []Grant {
 			if j >= outs || w.cell[i][j] < 0 || w.rowBusy[i] || w.outBusy[j] {
 				continue
 			}
-			idx := w.pickVC(rs, multi[[2]int{i, j}], i)
+			idx := w.slots.pick(w.cfg, rs, w.cellReqs.at(i, j), w.vcPick[i])
 			req := rs.Requests[idx]
-			grants = append(grants, Grant{Port: req.Port, VC: req.VC, OutPort: j, Row: i})
+			w.grants = append(w.grants, Grant{Port: req.Port, VC: req.VC, OutPort: j, Row: i})
 			w.rowBusy[i] = true
 			w.outBusy[j] = true
 		}
 	}
 	w.prio = (w.prio + 1) % n
-	return grants
-}
-
-// pickVC selects which of a row's VCs requesting the same output wins,
-// using the row's round-robin VC arbiter for long-run fairness.
-func (w *Wavefront) pickVC(rs *RequestSet, reqIdxs []int, row int) int {
-	if len(reqIdxs) == 1 {
-		return reqIdxs[0]
-	}
-	slotReq := make([]bool, w.cfg.GroupSize())
-	slotToReq := make([]int, w.cfg.GroupSize())
-	for i := range slotToReq {
-		slotToReq[i] = -1
-	}
-	for _, idx := range reqIdxs {
-		slot := w.cfg.Slot(rs.Requests[idx].VC)
-		slotReq[slot] = true
-		if slotToReq[slot] < 0 {
-			slotToReq[slot] = idx
-		}
-	}
-	slot := w.vcPick[row].Arbitrate(slotReq)
-	w.vcPick[row].Ack(slot)
-	return slotToReq[slot]
+	return w.grants
 }

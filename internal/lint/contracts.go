@@ -269,6 +269,73 @@ func (c *checker) methodDecl(recvType, name string) *ast.FuncDecl {
 	return out
 }
 
+// scratch runs contracts/scratch over an alloc package: Allocate methods
+// must not make a fresh []Grant per call. The Allocate contract returns
+// allocator-owned scratch sized at construction, so a make of the grants
+// slice inside the method body is a per-cycle heap allocation — exactly
+// what the zero-allocation steady state forbids. A justified
+// //vixlint:alloc comment waives the finding.
+func (c *checker) scratch() []Finding {
+	var fs []Finding
+	c.eachFunc(func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Recv == nil || fd.Name.Name != "Allocate" {
+			return
+		}
+		if len(requestSetParams(c.pkg, fd)) == 0 {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "make" {
+				return true
+			}
+			if _, isBuiltin := c.pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			tv, ok := c.pkg.Info.Types[call]
+			if !ok {
+				return true
+			}
+			sl, ok := tv.Type.Underlying().(*types.Slice)
+			if !ok {
+				return true
+			}
+			named, ok := sl.Elem().(*types.Named)
+			if !ok || named.Obj().Name() != "Grant" || named.Obj().Pkg() != c.pkg.Types {
+				return true
+			}
+			if c.allocWaived(call.Pos()) {
+				return true
+			}
+			c.report(&fs, call.Pos(), "contracts/scratch",
+				"%s.Allocate makes a fresh []Grant per call; build the grants buffer in the constructor and truncate it here (returned slices are valid until the next Allocate or Reset)",
+				recvTypeName(fd))
+			return true
+		})
+	})
+	return fs
+}
+
+// recvTypeName returns the name of fd's receiver type, stripping any
+// pointer.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return "?"
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "?"
+}
+
 // mutations runs contracts/mutate over every package: any function with a
 // *RequestSet parameter (from an internal/alloc package) must treat the
 // set as read-only.

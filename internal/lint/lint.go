@@ -38,6 +38,13 @@
 //     elements, no append(rs.Requests, ...), no sorting it in place.
 //     RequestSets are owned by the caller and reused across allocators;
 //     mutation corrupts every comparison downstream.
+//   - contracts/scratch: Allocate implementations must not make a fresh
+//     []Grant inside the method body. The Allocate contract returns
+//     allocator-owned scratch (valid until the next Allocate or Reset
+//     call), sized from Config at construction, so the steady-state
+//     cycle loop performs zero heap allocations. A justified
+//     "//vixlint:alloc <justification>" comment waives the rule
+//     (rule contracts/waiver polices empty justifications).
 //
 // Hygiene (internal/* only; cmd/ and examples/ may print):
 //
@@ -90,13 +97,19 @@ func Check(root string) ([]Finding, error) {
 func CheckModule(mod *Module) []Finding {
 	var fs []Finding
 	for _, pkg := range mod.Packages() {
-		c := &checker{mod: mod, pkg: pkg, waivers: collectWaivers(mod, pkg)}
+		c := &checker{
+			mod:          mod,
+			pkg:          pkg,
+			waivers:      collectWaivers(mod, pkg, waiverDirective),
+			allocWaivers: collectWaivers(mod, pkg, allocWaiverDirective),
+		}
 		if isInternal(pkg.Path) {
 			fs = append(fs, c.determinism()...)
 			fs = append(fs, c.hygiene()...)
 		}
 		if isAllocPackage(pkg) {
 			fs = append(fs, c.contracts()...)
+			fs = append(fs, c.scratch()...)
 		}
 		fs = append(fs, c.mutations()...)
 		fs = append(fs, c.waiverHygiene()...)
@@ -128,9 +141,10 @@ func isAllocPackage(pkg *Package) bool {
 
 // checker carries per-package analysis state.
 type checker struct {
-	mod     *Module
-	pkg     *Package
-	waivers map[string]map[int]string // file -> line -> justification ("" = missing)
+	mod          *Module
+	pkg          *Package
+	waivers      map[string]map[int]string // file -> line -> justification ("" = missing)
+	allocWaivers map[string]map[int]string // same, for contracts/scratch waivers
 }
 
 // report appends a finding at pos.
@@ -146,13 +160,19 @@ func (c *checker) report(fs *[]Finding, pos token.Pos, rule, format string, args
 // findings on its line (or the line directly below the comment).
 const waiverDirective = "//vixlint:ordered"
 
-// collectWaivers scans a package's comments for waiver directives.
-func collectWaivers(mod *Module, pkg *Package) map[string]map[int]string {
+// allocWaiverDirective suppresses contracts/scratch findings the same
+// way: an Allocate method that deliberately allocates its grants slice
+// per call carries the directive with a justification.
+const allocWaiverDirective = "//vixlint:alloc"
+
+// collectWaivers scans a package's comments for the given waiver
+// directive.
+func collectWaivers(mod *Module, pkg *Package, directive string) map[string]map[int]string {
 	ws := make(map[string]map[int]string)
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, cm := range cg.List {
-				rest, ok := strings.CutPrefix(cm.Text, waiverDirective)
+				rest, ok := strings.CutPrefix(cm.Text, directive)
 				if !ok {
 					continue
 				}
@@ -170,8 +190,19 @@ func collectWaivers(mod *Module, pkg *Package) map[string]map[int]string {
 // waived reports whether a determinism finding at pos is covered by a
 // waiver on the same line or the line immediately above.
 func (c *checker) waived(pos token.Pos) bool {
-	p := c.mod.Fset.Position(pos)
-	lines := c.waivers[p.Filename]
+	return waivedIn(c.mod, c.waivers, pos)
+}
+
+// allocWaived is the contracts/scratch analogue of waived.
+func (c *checker) allocWaived(pos token.Pos) bool {
+	return waivedIn(c.mod, c.allocWaivers, pos)
+}
+
+// waivedIn reports whether ws has a directive on pos's line or the line
+// immediately above.
+func waivedIn(mod *Module, ws map[string]map[int]string, pos token.Pos) bool {
+	p := mod.Fset.Position(pos)
+	lines := ws[p.Filename]
 	if lines == nil {
 		return false
 	}
@@ -192,6 +223,15 @@ func (c *checker) waiverHygiene() []Finding {
 					Pos:  token.Position{Filename: name, Line: line},
 					Rule: "determinism/waiver",
 					Msg:  "vixlint:ordered waiver needs a justification explaining why iteration order cannot leak into results",
+				})
+			}
+		}
+		for _, line := range sim.SortedKeys(c.allocWaivers[name]) {
+			if c.allocWaivers[name][line] == "" {
+				fs = append(fs, Finding{
+					Pos:  token.Position{Filename: name, Line: line},
+					Rule: "contracts/waiver",
+					Msg:  "vixlint:alloc waiver needs a justification for allocating a fresh grants slice per call",
 				})
 			}
 		}

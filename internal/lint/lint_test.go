@@ -462,3 +462,111 @@ func TestFindingString(t *testing.T) {
 		t.Errorf("String() = %q, want file:line: rule: message shape", s)
 	}
 }
+
+// allocScratchModule exercises contracts/scratch: Greedy makes a fresh
+// grants slice per Allocate call, Scratchy reuses a constructor-built
+// buffer, Waived allocates per call behind a justified waiver, and Bare
+// carries a waiver with no justification.
+const allocScratchModule = `package alloc
+
+type Config struct{}
+
+type Request struct{ Age int }
+
+type RequestSet struct {
+	Config   Config
+	Requests []Request
+}
+
+type Grant struct{}
+
+type Allocator interface {
+	Name() string
+	Allocate(rs *RequestSet) []Grant
+	Reset()
+}
+
+type Greedy struct{}
+
+func (g *Greedy) Name() string { return "greedy" }
+func (g *Greedy) Allocate(rs *RequestSet) []Grant {
+	grants := make([]Grant, 0, 4)
+	return grants
+}
+func (g *Greedy) Reset() {}
+
+type Scratchy struct{ grants []Grant }
+
+func NewScratchy(Config) *Scratchy { return &Scratchy{grants: make([]Grant, 0, 4)} }
+func (s *Scratchy) Name() string   { return "scratchy" }
+func (s *Scratchy) Allocate(rs *RequestSet) []Grant {
+	s.grants = s.grants[:0]
+	marks := make([]bool, 4)
+	_ = marks
+	return s.grants
+}
+func (s *Scratchy) Reset() {}
+
+type Waived struct{}
+
+func (w *Waived) Name() string { return "waived" }
+func (w *Waived) Allocate(rs *RequestSet) []Grant {
+	//vixlint:alloc diagnostic allocator, never on the cycle loop's hot path
+	return make([]Grant, 0)
+}
+func (w *Waived) Reset() {}
+
+type Bare struct{}
+
+func (b *Bare) Name() string { return "bare" }
+func (b *Bare) Allocate(rs *RequestSet) []Grant {
+	//vixlint:alloc
+	return make([]Grant, 0)
+}
+func (b *Bare) Reset() {}
+`
+
+func TestContractsScratch(t *testing.T) {
+	findings := checkModule(t, map[string]string{
+		"internal/alloc/alloc.go": allocScratchModule,
+	})
+	const f = "alloc.go"
+	want(t, findings, "contracts/scratch", f, 24) // Greedy: make([]Grant, ...) per call
+	want(t, findings, "contracts/waiver", f, 54)  // Bare: waiver without justification
+	if got := count(findings, "contracts/scratch"); got != 1 {
+		t.Errorf("contracts/scratch findings = %d, want 1 (Scratchy reuses scratch and only allocates marks; Waived and Bare are waived)\n%s",
+			got, render(findings))
+	}
+}
+
+// TestContractsScratchOutsideAllocPackage: the rule is scoped to alloc
+// registry packages; an Allocate method elsewhere may build slices as it
+// pleases.
+func TestContractsScratchOutsideAllocPackage(t *testing.T) {
+	findings := checkModule(t, map[string]string{
+		"internal/alloc/alloc.go": `package alloc
+
+type Config struct{}
+
+type Request struct{ Age int }
+
+type RequestSet struct {
+	Config   Config
+	Requests []Request
+}
+
+type Grant struct{}
+`,
+		"internal/custom/custom.go": `package custom
+
+import "example.com/m/internal/alloc"
+
+type Mine struct{}
+
+func (m *Mine) Allocate(rs *alloc.RequestSet) []alloc.Grant {
+	return make([]alloc.Grant, 0)
+}
+`,
+	})
+	wantNone(t, findings, "contracts/scratch")
+}

@@ -78,8 +78,16 @@ type Config struct {
 
 	// OnEject, when non-nil, observes every flit as it leaves the
 	// network (after statistics are updated). Tests use it to check
-	// ordering invariants.
+	// ordering invariants. The flit is recycled through the network's
+	// free-list pool as soon as the callback returns, so the callback
+	// must not retain the pointer; copy any fields it needs.
 	OnEject func(f *router.Flit)
+
+	// DisableFlitPool turns off flit recycling so every flit is freshly
+	// allocated, as before the free-list pool existed. It is a test hook:
+	// the determinism regression test runs pooled and fresh simulations
+	// side by side and asserts identical output.
+	DisableFlitPool bool
 
 	// HopDelay is the cycles from a switch-allocation win at one router
 	// to eligibility at the next (SA + switch traversal + link
@@ -158,13 +166,48 @@ type creditDelivery struct {
 }
 
 // ni is the network interface of one terminal node: an unbounded source
-// queue feeding the node's local input port at one flit per cycle.
+// queue feeding the node's local input port at one flit per cycle. The
+// queue is a deque over a reused backing array: popping advances head
+// instead of reslicing from the front, so sustained backlog does not leak
+// an ever-growing prefix of consumed slots.
 type ni struct {
 	node    int
 	rng     *sim.RNG
 	queue   []*router.Flit
+	head    int // index of the front flit within queue
 	curVC   int
 	backlog int // packets currently in queue
+}
+
+// pending returns the number of queued flits.
+func (q *ni) pending() int { return len(q.queue) - q.head }
+
+// front returns the next flit to inject; q must be non-empty.
+func (q *ni) front() *router.Flit { return q.queue[q.head] }
+
+// push appends a flit, compacting consumed front slots first when the
+// backing array is full so append never grows it unnecessarily.
+func (q *ni) push(f *router.Flit) {
+	if q.head > 0 && len(q.queue) == cap(q.queue) {
+		n := copy(q.queue, q.queue[q.head:])
+		for i := n; i < len(q.queue); i++ {
+			q.queue[i] = nil
+		}
+		q.queue = q.queue[:n]
+		q.head = 0
+	}
+	q.queue = append(q.queue, f)
+}
+
+// pop removes the front flit, clearing its slot so the queue does not
+// retain a pointer to a flit now owned by the network.
+func (q *ni) pop() {
+	q.queue[q.head] = nil
+	q.head++
+	if q.head == len(q.queue) {
+		q.queue = q.queue[:0]
+		q.head = 0
+	}
 }
 
 // Network is a running simulation instance.
@@ -185,6 +228,12 @@ type Network struct {
 	ejectQ [][]*router.Flit
 
 	col *stats.Collector
+
+	// flitPool is the free list flits are recycled through: popped (and
+	// zeroed) at packet creation, pushed back at ejection. Its high-water
+	// mark is bounded by the flits live at once (buffers, links, and the
+	// small NI backlogs), so the steady state allocates nothing.
+	flitPool []*router.Flit
 
 	inFlight int64 // flits inside routers or on links (not source queues)
 
@@ -262,9 +311,28 @@ func (n *Network) InFlight() int64 { return n.inFlight }
 func (n *Network) QueuedAtSources() int64 {
 	var q int64
 	for _, nif := range n.nis {
-		q += int64(len(nif.queue))
+		q += int64(nif.pending())
 	}
 	return q
+}
+
+// newFlit returns a zeroed flit, recycled from the pool when possible.
+func (n *Network) newFlit() *router.Flit {
+	if n.cfg.DisableFlitPool || len(n.flitPool) == 0 {
+		return &router.Flit{}
+	}
+	f := n.flitPool[len(n.flitPool)-1]
+	n.flitPool = n.flitPool[:len(n.flitPool)-1]
+	*f = router.Flit{}
+	return f
+}
+
+// recycleFlit returns an ejected flit to the pool.
+func (n *Network) recycleFlit(f *router.Flit) {
+	if n.cfg.DisableFlitPool {
+		return
+	}
+	n.flitPool = append(n.flitPool, f)
 }
 
 // Step advances the simulation one cycle.
@@ -361,6 +429,7 @@ func (n *Network) eject(f *router.Flit) {
 	if n.cfg.OnEject != nil {
 		n.cfg.OnEject(f)
 	}
+	n.recycleFlit(f)
 }
 
 // Routers exposes the router instances; tests use it to check credit and
@@ -400,11 +469,23 @@ func (n *Network) enqueuePacket(nif *ni, spec PacketSpec) {
 	if size <= 0 {
 		size = n.cfg.PacketSize
 	}
-	flits := router.NewPacket(id, nif.node, spec.Dst, size, n.cycle)
-	for _, f := range flits {
-		f.Tag = spec.Tag
+	if size <= 0 {
+		panic("network: packet size must be positive")
 	}
-	nif.queue = append(nif.queue, flits...)
+	for i := 0; i < size; i++ {
+		f := n.newFlit()
+		f.PacketID = id
+		f.Type = router.PacketFlitType(i, size)
+		f.Src = nif.node
+		f.Dst = spec.Dst
+		f.Tag = spec.Tag
+		f.Seq = i
+		f.PacketSize = size
+		f.CreateCycle = n.cycle
+		f.Route = -1
+		f.VC = -1
+		nif.push(f)
+	}
 	nif.backlog++
 }
 
@@ -412,10 +493,10 @@ func (n *Network) enqueuePacket(nif *ni, spec PacketSpec) {
 // input port of its router, choosing an injection VC for head flits with
 // the same sub-group policy the routers use.
 func (n *Network) inject(nif *ni) {
-	if len(nif.queue) == 0 {
+	if nif.pending() == 0 {
 		return
 	}
-	f := nif.queue[0]
+	f := nif.front()
 	r := n.topo.NodeRouter[nif.node]
 	port := n.topo.NodePort[nif.node]
 	rt := n.routers[r]
@@ -438,7 +519,7 @@ func (n *Network) inject(nif *ni) {
 	rt.DeliverFlit(port, nif.curVC, f)
 	n.col.BufferWrite()
 	n.inFlight++
-	nif.queue = nif.queue[1:]
+	nif.pop()
 	if f.Type.IsHead() {
 		f.InjectCycle = n.cycle
 		n.col.PacketInjected(f.PacketSize)

@@ -1,0 +1,53 @@
+package network
+
+import (
+	"testing"
+
+	"vix/internal/alloc"
+	"vix/internal/router"
+	"vix/internal/topology"
+)
+
+// saturatedMesh builds the workload every Figure 8 sweep spends its
+// cycles in: an 8x8 VIX mesh under saturated uniform-random load.
+func saturatedMesh(tb testing.TB) *Network {
+	tb.Helper()
+	topo := topology.NewMesh(8, 8)
+	cfg := meshConfig(topo, alloc.KindSeparableIF, 2, router.PolicyBalanced)
+	cfg.InjectionRate = 0
+	cfg.MaxInjection = true
+	cfg.Seed = 1
+	n, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return n
+}
+
+// TestSteadyStateZeroAllocs pins the headline guarantee of the memory
+// discipline work: once the scratch buffers and the flit pool have grown
+// to their high-water marks, Network.Step performs zero heap allocations
+// per cycle. The run is fully deterministic (fixed seed), so this either
+// always passes or always fails for a given code state.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	n := saturatedMesh(t)
+	n.Run(8000)
+	n.Collector().Reset()
+	avg := testing.AllocsPerRun(200, func() { n.Step() })
+	if avg != 0 {
+		t.Fatalf("Network.Step allocates %v times per cycle in steady state; want 0", avg)
+	}
+}
+
+// BenchmarkNetworkStep measures the serial cycle loop's cost under the
+// saturated VIX workload; the allocation counter must stay at 0.
+func BenchmarkNetworkStep(b *testing.B) {
+	n := saturatedMesh(b)
+	n.Run(3000)
+	n.Collector().Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+}

@@ -72,6 +72,21 @@ type Flit struct {
 	Hops int
 }
 
+// PacketFlitType returns the FlitType of the i-th flit of a size-flit
+// packet: HeadTail for single-flit packets, else Head, Body..., Tail.
+func PacketFlitType(i, size int) FlitType {
+	switch {
+	case size == 1:
+		return HeadTail
+	case i == 0:
+		return Head
+	case i == size-1:
+		return Tail
+	default:
+		return Body
+	}
+}
+
 // NewPacket builds the flit sequence for one packet of size flits.
 func NewPacket(id uint64, src, dst, size int, createCycle int64) []*Flit {
 	if size <= 0 {
@@ -79,15 +94,7 @@ func NewPacket(id uint64, src, dst, size int, createCycle int64) []*Flit {
 	}
 	flits := make([]*Flit, size)
 	for i := range flits {
-		ft := Body
-		switch {
-		case size == 1:
-			ft = HeadTail
-		case i == 0:
-			ft = Head
-		case i == size-1:
-			ft = Tail
-		}
+		ft := PacketFlitType(i, size)
 		flits[i] = &Flit{
 			PacketID:    id,
 			Type:        ft,

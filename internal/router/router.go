@@ -111,6 +111,8 @@ type Router struct {
 	reqs        alloc.RequestSet
 	busyInGroup []int
 	freeScratch []bool
+	ems         []Emission
+	creds       []CreditMsg
 }
 
 // New builds a router. ports describes the wiring class of each port
@@ -131,6 +133,8 @@ func New(id int, cfg Config, ports []PortInfo, allocator alloc.Allocator, nextDi
 		justAllocated: make([]bool, cfg.Ports*cfg.VCs),
 		busyInGroup:   make([]int, cfg.VirtualInputs),
 		freeScratch:   make([]bool, cfg.VCs),
+		ems:           make([]Emission, 0, cfg.Ports),
+		creds:         make([]CreditMsg, 0, cfg.Ports),
 	}
 	r.reqs.Config = r.acfg
 	r.in = make([][]*inputVC, cfg.Ports)
@@ -206,7 +210,12 @@ func (r *Router) Credits(outPort, vc int) int { return r.out[outPort].credits[vc
 // Tick advances the router one cycle: VC allocation, then switch
 // allocation, then switch traversal of the winners. It returns the flits
 // leaving through output ports and the credits freed at input ports.
+//
+// Both returned slices are router-owned scratch, valid only until the
+// next Tick call; callers must consume (or copy) them within the cycle.
 func (r *Router) Tick() (ems []Emission, credits []CreditMsg) {
+	r.ems = r.ems[:0]
+	r.creds = r.creds[:0]
 	if r.cfg.NonSpeculative {
 		for i := range r.justAllocated {
 			r.justAllocated[i] = false
@@ -234,12 +243,12 @@ func (r *Router) Tick() (ems []Emission, credits []CreditMsg) {
 		if f.Type.IsTail() {
 			ivc.ovcValid = false
 		}
-		ems = append(ems, Emission{OutPort: g.OutPort, Flit: f})
+		r.ems = append(r.ems, Emission{OutPort: g.OutPort, Flit: f})
 		if r.out[g.Port].info.Kind == topology.Link {
-			credits = append(credits, CreditMsg{Port: g.Port, VC: g.VC})
+			r.creds = append(r.creds, CreditMsg{Port: g.Port, VC: g.VC})
 		}
 	}
-	return ems, credits
+	return r.ems, r.creds
 }
 
 // allocateVCs performs the VC allocation stage: head flits at the front

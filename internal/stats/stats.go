@@ -42,8 +42,15 @@ func NewCollector(nodes int) *Collector {
 }
 
 // Reset clears all accumulated metrics (start of a measurement window).
+// The latency and per-source backing arrays are retained so windowed
+// protocols (warm up, Reset, measure) do not reallocate them.
 func (c *Collector) Reset() {
-	*c = Collector{nodes: c.nodes, perSrcFlits: make([]int64, c.nodes)}
+	lat := c.latencies[:0]
+	per := c.perSrcFlits
+	for i := range per {
+		per[i] = 0
+	}
+	*c = Collector{nodes: c.nodes, latencies: lat, perSrcFlits: per}
 }
 
 // Tick advances the measured cycle count.
