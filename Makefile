@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint race test bench bench-json profile sweep experiments examples clean
+.PHONY: all build vet lint lint-bench race test bench bench-json profile sweep experiments examples clean
 
 all: build vet lint test
 
@@ -11,9 +11,12 @@ vet:
 	go vet ./...
 
 # The full static-analysis gate: vet, gofmt cleanliness, and the repo's
-# own vixlint pass (determinism, allocator contracts, hygiene — see
-# internal/lint). The lint self-check test enforces the same rules under
-# plain `go test ./...`.
+# own vixlint pass (determinism including transitive reach, allocator
+# contracts, scratch escape, enum exhaustiveness, hygiene — see
+# internal/lint). vixlint keeps a content-hash finding cache under
+# .vixlint/, so reruns only re-analyze packages whose hash chain
+# changed. The lint self-check test enforces the same rules under plain
+# `go test ./...`.
 lint: vet
 	@unformatted="$$(gofmt -l .)"; \
 	if [ -n "$$unformatted" ]; then \
@@ -21,7 +24,22 @@ lint: vet
 		echo "$$unformatted"; \
 		exit 1; \
 	fi
-	go run ./cmd/vixlint ./...
+	go run ./cmd/vixlint -v ./...
+
+# Demonstrate the incremental engine: a cold run (cache cleared) versus
+# a warm rerun, which must type-check and analyze zero packages.
+lint-bench:
+	go build -o /tmp/vixlint_bench ./cmd/vixlint
+	rm -rf .vixlint
+	@echo "== cold (empty cache)"
+	/tmp/vixlint_bench -v ./...
+	@echo "== warm (unchanged tree)"
+	@warm="$$(/tmp/vixlint_bench -v ./... 2>&1)"; \
+	echo "$$warm"; \
+	case "$$warm" in \
+	*" 0 analyzed"*) ;; \
+	*) echo "lint-bench: warm run re-analyzed packages; cache is broken"; exit 1 ;; \
+	esac
 
 # Run the test suite under the race detector. Allocators and routers are
 # documented as not concurrency-safe; this verifies nothing shares them

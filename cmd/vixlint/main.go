@@ -1,34 +1,54 @@
 // Command vixlint runs the simulator's static-analysis pass over the
 // whole module: determinism rules (no wall clock, no global rand, no
-// goroutines, no order-leaking map iteration in internal/), allocator
+// goroutines, no order-leaking map iteration in internal/, and no
+// exported entry point transitively reaching any of those), allocator
 // contracts (registry completeness, read-only RequestSets, Kind/Name
-// agreement), and hygiene rules (no printing or anonymous panics in
-// library code). See internal/lint for the rule catalogue and the
-// //vixlint:ordered waiver syntax.
+// agreement, scratch ownership), scratch-escape rules (Allocate results
+// must not be stored or used across a later Allocate/Reset),
+// exhaustiveness of enum switches, and hygiene rules (no printing or
+// anonymous panics in library code). See internal/lint for the rule
+// catalogue and the //vixlint:ordered waiver syntax.
 //
 // Usage:
 //
-//	vixlint [./...]
-//	vixlint -root <module-dir>
+//	vixlint [flags] [./...]
 //
 // The analysis is always module-wide; a "./..." argument is accepted for
-// familiarity. vixlint exits 1 when it finds violations, 2 when the
-// module cannot be loaded.
+// familiarity. Flags:
+//
+//	-root dir    module root to analyse (default: the module containing
+//	             the working directory)
+//	-json        emit findings as a JSON array on stdout instead of text
+//	-v           print engine statistics (packages, cache hits, workers,
+//	             wall time) to stderr
+//	-no-cache    disable the .vixlint/ finding cache and re-analyse every
+//	             package
+//	-workers n   bound the analysis worker pool (default GOMAXPROCS)
+//
+// Exit status: 0 when the module is clean, 1 when findings are
+// reported, 2 when the analysis itself fails (unloadable module,
+// unreadable root).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"vix/internal/lint"
 )
 
 func main() {
 	root := flag.String("root", "", "module root to analyse (default: the module containing the working directory)")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	verbose := flag.Bool("v", false, "print engine statistics to stderr")
+	noCache := flag.Bool("no-cache", false, "disable the .vixlint/ finding cache")
+	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: vixlint [-root dir] [./...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vixlint [-root dir] [-json] [-v] [-no-cache] [-workers n] [./...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,18 +68,61 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	findings, err := lint.Check(dir)
+	start := time.Now()
+	findings, stats, err := lint.CheckWithOptions(dir, lint.Options{
+		Workers: *workers,
+		Cache:   !*noCache,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vixlint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "vixlint: %d packages, %d cached, %d analyzed, %d workers, %s\n",
+			stats.Packages, stats.Cached, stats.Analyzed, stats.Workers,
+			time.Since(start).Round(time.Millisecond))
+	}
+	if *asJSON {
+		if err := writeJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "vixlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "vixlint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column,omitempty"`
+	Rule   string `json:"rule"`
+	Msg    string `json:"msg"`
+}
+
+// writeJSON emits the findings as one indented JSON array. An empty
+// result is the empty array, not null, so consumers can always range.
+func writeJSON(w *os.File, findings []lint.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:   f.Pos.Filename,
+			Line:   f.Pos.Line,
+			Column: f.Pos.Column,
+			Rule:   f.Rule,
+			Msg:    f.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
 }
 
 // findModuleRoot walks up from the working directory to the nearest

@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vix/internal/sim"
+)
+
+// This file implements the content-hash finding cache behind incremental
+// `make lint`. The module is indexed without type checking (file bytes
+// are hashed, imports are read with parser.ImportsOnly), and each
+// package gets a key chaining:
+//
+//	sha256(cacheVersion, ConcurrencyAllowlist, module path, package
+//	       path, each file's name and content hash, and the keys of
+//	       every module-local import)
+//
+// Dependency keys chain recursively, so a package's key covers its
+// transitive module dependencies: the inter-procedural passes (reach,
+// escape, exhaustiveness) read dependency bodies, and an edit anywhere
+// below a package must invalidate it. The converse edit — a new
+// interface implementation in a package that does not import the
+// changed one — can in principle alter class-hierarchy-analysis edges
+// without touching the key; DESIGN.md section 11 documents why that
+// imprecision is accepted.
+//
+// Entries are one JSON file per package under .vixlint/, named by a
+// hash of the import path, holding the key and the package's findings
+// with module-root-relative file paths (so entries survive moving the
+// checkout). A lookup whose stored key mismatches is a miss; on a fully
+// warm run every package hits and the module is never type-checked.
+
+// cacheVersion invalidates every entry when the analyzers change
+// behaviour. Bump it in any commit that alters rules or messages.
+const cacheVersion = "vixlint-cache-1"
+
+// cacheDirName is the default cache directory under the module root.
+const cacheDirName = ".vixlint"
+
+// indexedPackage is one package as seen by the cheap no-typecheck walk.
+type indexedPackage struct {
+	path      string            // import path
+	dir       string            // absolute directory
+	fileNames []string          // non-test .go files, sorted
+	fileHash  map[string]string // file name -> content sha256 (hex)
+	imports   []string          // module-local imports, sorted
+	key       string            // chained content hash (hex)
+}
+
+// moduleIndex is the cheap module snapshot used for cache keying. Its
+// walk mirrors Module.discover exactly: same directory skip rules, same
+// file selection, so the indexed package set matches what Load checks.
+type moduleIndex struct {
+	root     string
+	modPath  string
+	packages []*indexedPackage // sorted by import path
+	byPath   map[string]*indexedPackage
+}
+
+// indexModule snapshots the module at root without parsing bodies or
+// type-checking anything.
+func indexModule(root string) (*moduleIndex, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	idx := &moduleIndex{
+		root:    root,
+		modPath: modPath,
+		byPath:  make(map[string]*indexedPackage),
+	}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		return idx.indexDir(path)
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(idx.packages, func(i, j int) bool { return idx.packages[i].path < idx.packages[j].path })
+	idx.computeKeys()
+	return idx, nil
+}
+
+// indexDir hashes one directory's non-test Go files and records its
+// module-local imports.
+func (idx *moduleIndex) indexDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	sort.Strings(names)
+	p := &indexedPackage{dir: dir, fileNames: names, fileHash: make(map[string]string)}
+	imports := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, n := range names {
+		full := filepath.Join(dir, n)
+		data, err := os.ReadFile(full)
+		if err != nil {
+			return err
+		}
+		sum := sha256.Sum256(data)
+		p.fileHash[n] = hex.EncodeToString(sum[:])
+		f, err := parser.ParseFile(fset, full, data, parser.ImportsOnly)
+		if err != nil {
+			return fmt.Errorf("lint: %v", err)
+		}
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if ip == idx.modPath || strings.HasPrefix(ip, idx.modPath+"/") {
+				imports[ip] = true
+			}
+		}
+	}
+	rel, err := filepath.Rel(idx.root, dir)
+	if err != nil {
+		return err
+	}
+	p.path = idx.modPath
+	if rel != "." {
+		p.path = idx.modPath + "/" + filepath.ToSlash(rel)
+	}
+	p.imports = sim.SortedKeys(imports)
+	idx.packages = append(idx.packages, p)
+	idx.byPath[p.path] = p
+	return nil
+}
+
+// allowlistFingerprint folds the ConcurrencyAllowlist into cache keys:
+// growing or shrinking it changes which go statements are sources, and
+// that must invalidate every entry that could be affected.
+func allowlistFingerprint() string {
+	return strings.Join(sim.SortedKeys(ConcurrencyAllowlist), ",")
+}
+
+// computeKeys assigns every package its chained content-hash key.
+func (idx *moduleIndex) computeKeys() {
+	memo := make(map[string]string)
+	visiting := make(map[string]bool)
+	var keyOf func(p *indexedPackage) string
+	keyOf = func(p *indexedPackage) string {
+		if k, ok := memo[p.path]; ok {
+			return k
+		}
+		if visiting[p.path] {
+			return "cycle" // impossible in a compilable module; degrade safely
+		}
+		visiting[p.path] = true
+		h := sha256.New()
+		io.WriteString(h, cacheVersion+"\n")
+		io.WriteString(h, allowlistFingerprint()+"\n")
+		io.WriteString(h, idx.modPath+"\n")
+		io.WriteString(h, p.path+"\n")
+		for _, name := range p.fileNames {
+			fmt.Fprintf(h, "%s %s\n", name, p.fileHash[name])
+		}
+		for _, dep := range p.imports {
+			dp := idx.byPath[dep]
+			if dp == nil {
+				continue // import of a module path with no Go files
+			}
+			fmt.Fprintf(h, "dep %s %s\n", dep, keyOf(dp))
+		}
+		delete(visiting, p.path)
+		k := hex.EncodeToString(h.Sum(nil))
+		memo[p.path] = k
+		return k
+	}
+	for _, p := range idx.packages {
+		p.key = keyOf(p)
+	}
+}
+
+// cacheEntry is the stored JSON for one package.
+type cacheEntry struct {
+	Key      string          `json:"key"`
+	Package  string          `json:"package"`
+	Findings []cachedFinding `json:"findings"`
+}
+
+// cachedFinding is a Finding with a module-root-relative path.
+type cachedFinding struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column,omitempty"`
+	Rule   string `json:"rule"`
+	Msg    string `json:"msg"`
+}
+
+// cacheFileName maps an import path to its entry file.
+func cacheFileName(pkgPath string) string {
+	sum := sha256.Sum256([]byte(pkgPath))
+	return hex.EncodeToString(sum[:8]) + ".json"
+}
+
+// loadCacheEntry returns the stored entry for p if its key matches.
+func loadCacheEntry(dir string, p *indexedPackage) (*cacheEntry, bool) {
+	data, err := os.ReadFile(filepath.Join(dir, cacheFileName(p.path)))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Key != p.key || e.Package != p.path {
+		return nil, false
+	}
+	return &e, true
+}
+
+// resolve converts the entry's findings back to absolute positions
+// under root, matching what a live run would report.
+func (e *cacheEntry) resolve(root string) []Finding {
+	out := make([]Finding, 0, len(e.Findings))
+	for _, f := range e.Findings {
+		name := f.File
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(root, filepath.FromSlash(f.File))
+		}
+		out = append(out, Finding{
+			Pos:  token.Position{Filename: name, Line: f.Line, Column: f.Column},
+			Rule: f.Rule,
+			Msg:  f.Msg,
+		})
+	}
+	return out
+}
+
+// storeCacheEntry writes p's findings (paths made root-relative) under
+// its current key. Failures are deliberately ignored: the cache is an
+// optimisation, and a read-only checkout must not fail the lint run.
+func storeCacheEntry(dir, root string, p *indexedPackage, fs []Finding) {
+	e := cacheEntry{Key: p.key, Package: p.path, Findings: []cachedFinding{}}
+	for _, f := range fs {
+		name := f.Pos.Filename
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = filepath.ToSlash(rel)
+		}
+		e.Findings = append(e.Findings, cachedFinding{
+			File:   name,
+			Line:   f.Pos.Line,
+			Column: f.Pos.Column,
+			Rule:   f.Rule,
+			Msg:    f.Msg,
+		})
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.MarshalIndent(&e, "", "\t")
+	if err != nil {
+		return
+	}
+	os.WriteFile(filepath.Join(dir, cacheFileName(p.path)), data, 0o644)
+}

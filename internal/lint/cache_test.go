@@ -1,0 +1,189 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vix/internal/lint"
+)
+
+// writeTree materialises a module under a temp dir from path -> source.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		full := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// renderAll formats findings the way cmd/vixlint prints them.
+func renderAll(findings []lint.Finding) []string {
+	out := make([]string, len(findings))
+	for i, f := range findings {
+		out[i] = f.String()
+	}
+	return out
+}
+
+// cachedModule is a three-package module with one violation, used by
+// every cache test: pkg c imports a, pkg b stands alone.
+func cachedModule() map[string]string {
+	return map[string]string{
+		"go.mod": "module fix\n\ngo 1.22\n",
+		"internal/a/a.go": `package a
+
+// V is read by package c.
+var V = 1
+`,
+		"internal/b/b.go": `package b
+
+import "time"
+
+// Stamp violates determinism/time.
+func Stamp() int64 { return time.Now().Unix() }
+`,
+		"internal/c/c.go": `package c
+
+import "fix/internal/a"
+
+// Get depends on package a.
+func Get() int { return a.V }
+`,
+	}
+}
+
+// TestCacheWarmRunDoesNoWork: the second run over an unchanged module
+// serves every package from the cache, analyzes nothing, and reports
+// byte-identical findings.
+func TestCacheWarmRunDoesNoWork(t *testing.T) {
+	root := writeTree(t, cachedModule())
+	opts := lint.Options{Cache: true}
+
+	cold, coldStats, err := lint.CheckWithOptions(root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.Cached != 0 || coldStats.Analyzed != coldStats.Packages {
+		t.Errorf("cold stats = %+v; want zero cached, all analyzed", coldStats)
+	}
+	if len(cold) != 1 || cold[0].Rule != "determinism/time" {
+		t.Fatalf("cold findings = %v; want exactly the seeded determinism/time", renderAll(cold))
+	}
+
+	warm, warmStats, err := lint.CheckWithOptions(root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmStats.Analyzed != 0 || warmStats.Cached != warmStats.Packages {
+		t.Errorf("warm stats = %+v; want everything cached, nothing analyzed", warmStats)
+	}
+	got, want := renderAll(warm), renderAll(cold)
+	if len(got) != len(want) {
+		t.Fatalf("warm findings %v != cold findings %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("warm finding %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCacheEditInvalidatesOnlyTouchedPackage: editing a leaf package
+// re-analyzes just that package; editing a dependency re-analyzes it and
+// its reverse dependencies, but not unrelated packages.
+func TestCacheEditInvalidatesOnlyTouchedPackage(t *testing.T) {
+	root := writeTree(t, cachedModule())
+	opts := lint.Options{Cache: true}
+	if _, _, err := lint.CheckWithOptions(root, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Edit the standalone package b: only b misses.
+	bFile := filepath.Join(root, "internal", "b", "b.go")
+	src, err := os.ReadFile(bFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bFile, append(src, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := lint.CheckWithOptions(root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Analyzed != 1 || stats.Cached != stats.Packages-1 {
+		t.Errorf("after editing b: stats = %+v; want exactly 1 analyzed", stats)
+	}
+
+	// Edit dependency a: both a and its importer c miss; b stays cached.
+	aFile := filepath.Join(root, "internal", "a", "a.go")
+	src, err = os.ReadFile(aFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(aFile, append(src, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err = lint.CheckWithOptions(root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Analyzed != 2 || stats.Cached != stats.Packages-2 {
+		t.Errorf("after editing a: stats = %+v; want a and c analyzed, b cached", stats)
+	}
+}
+
+// TestCacheDisabled: with Cache off every run analyzes everything and
+// no cache directory appears.
+func TestCacheDisabled(t *testing.T) {
+	root := writeTree(t, cachedModule())
+	for i := 0; i < 2; i++ {
+		_, stats, err := lint.CheckWithOptions(root, lint.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Cached != 0 || stats.Analyzed != stats.Packages {
+			t.Errorf("run %d stats = %+v; want no caching", i, stats)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(root, ".vixlint")); !os.IsNotExist(err) {
+		t.Errorf(".vixlint directory exists despite Cache: false (stat err = %v)", err)
+	}
+}
+
+// TestCacheCustomDirAndWorkers: CacheDir relocates the cache, and an
+// explicit worker bound is reported back in Stats.
+func TestCacheCustomDirAndWorkers(t *testing.T) {
+	root := writeTree(t, cachedModule())
+	dir := filepath.Join(t.TempDir(), "cachehome")
+	opts := lint.Options{Cache: true, CacheDir: dir, Workers: 2}
+	_, stats, err := lint.CheckWithOptions(root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 2 {
+		t.Errorf("stats.Workers = %d, want 2", stats.Workers)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("custom cache dir has no entries (err = %v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(root, ".vixlint")); !os.IsNotExist(err) {
+		t.Errorf("default .vixlint created despite CacheDir override (stat err = %v)", err)
+	}
+	_, stats, err = lint.CheckWithOptions(root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Analyzed != 0 {
+		t.Errorf("warm run with custom dir analyzed %d packages, want 0", stats.Analyzed)
+	}
+}

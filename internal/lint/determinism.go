@@ -15,6 +15,11 @@ import (
 // reviewed act: the lint self-check pins its exact contents.
 var ConcurrencyAllowlist = map[string]bool{
 	"internal/harness": true,
+	// internal/lint's analysis engine fans per-package passes out on a
+	// bounded worker pool. Lint findings are merged in canonical package
+	// order and sorted before reporting, so worker scheduling cannot
+	// reach the output; and lint never touches simulation state.
+	"internal/lint": true,
 }
 
 // concurrencyAllowed reports whether the package under analysis may use
@@ -68,23 +73,38 @@ func (c *checker) checkRandImports(fs *[]Finding, file *ast.File) {
 var timeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
 // checkTimeCall flags selector references to time.Now / time.Since /
-// time.Until. It prefers type information (robust against import
-// aliasing) and falls back to matching the spelled-out import when type
-// checking failed.
+// time.Until. The violation is established before the waiver is
+// consulted, so waiver usage tracking (the stale-waiver sweep) stays
+// accurate.
 func (c *checker) checkTimeCall(fs *[]Finding, file *ast.File, sel *ast.SelectorExpr) {
-	if !timeFuncs[sel.Sel.Name] || c.waived(sel.Pos()) {
-		return
-	}
-	if obj, ok := c.pkg.Info.Uses[sel.Sel]; ok {
-		fn, isFunc := obj.(*types.Func)
-		if !isFunc || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+	name, ok := c.timeCall(sel)
+	if !ok {
+		// AST-only fallback when type information is missing.
+		if _, typed := c.pkg.Info.Uses[sel.Sel]; typed || !timeFuncs[sel.Sel.Name] ||
+			!selectsPackage(c.pkg, file, sel, "time") {
 			return
 		}
-	} else if !selectsPackage(c.pkg, file, sel, "time") {
+		name = sel.Sel.Name
+	}
+	if c.waived(sel.Pos()) {
 		return
 	}
 	c.report(fs, sel.Pos(), "determinism/time",
-		"call to time.%s: simulation code must use cycle counts, not the wall clock", sel.Sel.Name)
+		"call to time.%s: simulation code must use cycle counts, not the wall clock", name)
+}
+
+// timeCall reports whether sel is a reference to one of the forbidden
+// wall-clock reads, using type information only (the inter-procedural
+// passes have no per-file context for the AST fallback).
+func (c *checker) timeCall(sel *ast.SelectorExpr) (string, bool) {
+	if !timeFuncs[sel.Sel.Name] {
+		return "", false
+	}
+	fn, ok := c.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return "", false
+	}
+	return sel.Sel.Name, true
 }
 
 // selectsPackage reports whether sel's receiver is an identifier bound to
@@ -116,23 +136,28 @@ func selectsPackage(pkg *Package, file *ast.File, sel *ast.SelectorExpr, path st
 // only reads or fills loop-local scratch; it is a reproducibility bug the
 // moment visit order can reach results.
 func (c *checker) checkMapRange(fs *[]Finding, rng *ast.RangeStmt) {
-	if c.waived(rng.Pos()) {
-		return
-	}
-	tv, ok := c.pkg.Info.Types[rng.X]
-	if !ok || tv.Type == nil {
-		return // no type info; cannot tell maps from slices
-	}
-	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-		return
-	}
-	write := c.findNonLocalWrite(rng)
-	if write == nil {
+	write := c.mapRangeViolation(rng)
+	if write == nil || c.waived(rng.Pos()) {
 		return
 	}
 	c.report(fs, rng.Pos(), "determinism/maprange",
 		"map iteration order is randomised but the loop body writes to non-local state (line %d); sort the keys first or add a //vixlint:ordered waiver",
 		c.mod.Fset.Position(write.Pos()).Line)
+}
+
+// mapRangeViolation returns the first order-leaking write of a map range
+// (a write to state declared outside the loop), or nil when rng is not a
+// map range or only touches loop-local state. The waiver is deliberately
+// not consulted here.
+func (c *checker) mapRangeViolation(rng *ast.RangeStmt) ast.Node {
+	tv, ok := c.pkg.Info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return nil // no type info; cannot tell maps from slices
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	return c.findNonLocalWrite(rng)
 }
 
 // findNonLocalWrite returns the first statement in the range body that

@@ -1,0 +1,456 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file implements the flow-insensitive scratch-escape pass for the
+// Allocate contract of PR 3: Allocate returns allocator-owned scratch,
+// valid only until the next Allocate or Reset call on the same
+// allocator. Two rules police the callers:
+//
+//   - escape/store: a grants slice obtained from Allocate must not be
+//     stored into a struct field, a package-level variable, a composite
+//     literal, or sent on a channel. Any of those extends the slice's
+//     lifetime past the callers' control and aliases scratch the
+//     allocator will overwrite next cycle.
+//   - escape/retain: within one function, a grants slice bound before a
+//     later Allocate or Reset call on the same allocator must not be
+//     used after that call; the backing array has been invalidated.
+//
+// The pass runs over every module package except the alloc registry
+// packages themselves, which own the scratch and legitimately manage it
+// through struct fields. Analysis is flow-insensitive within a function:
+// statement order is approximated by source position, so a use textually
+// after an invalidating call inside a loop body is flagged even though
+// one interleaving is safe — copy the data out instead. Passing a grants
+// slice to another function (borrowing) and ranging over it are fine.
+
+// escape runs both escape rules over the package.
+func (c *checker) escape() []Finding {
+	var fs []Finding
+	c.eachFunc(func(_ *ast.File, fd *ast.FuncDecl) {
+		c.escapeFunc(&fs, fd)
+	})
+	return fs
+}
+
+// grantBinding is one variable bound to an Allocate result.
+type grantBinding struct {
+	obj      types.Object // the bound variable
+	pos      token.Pos    // position of the binding assignment
+	allocKey string       // receiver chain of the Allocate call ("" = unknown)
+}
+
+// escapeFunc analyses one function body.
+func (c *checker) escapeFunc(fs *[]Finding, fd *ast.FuncDecl) {
+	// Pass 1: collect grant bindings, iterating to a fixed point so
+	// second-order bindings (h := g) are tracked too.
+	bindings := c.grantBindings(fd)
+	if len(bindings) == 0 && !c.hasGrantCall(fd) {
+		return
+	}
+	tracked := func(e ast.Expr) *grantBinding { return c.trackedGrant(e, bindings) }
+
+	// Pass 2: stores that extend the slice's lifetime.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.checkGrantStore(fs, fd, n, tracked)
+		case *ast.SendStmt:
+			if b := tracked(n.Value); b != nil || c.isGrantCall(n.Value) {
+				c.report(fs, n.Pos(), "escape/store",
+					"%s sends allocator-owned grants on a channel; the slice is scratch valid only until the next Allocate/Reset — copy the grants instead",
+					fd.Name.Name)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if b := tracked(v); b != nil || c.isGrantCall(v) {
+					c.report(fs, v.Pos(), "escape/store",
+						"%s stores allocator-owned grants in a composite literal; the slice is scratch valid only until the next Allocate/Reset — copy the grants instead",
+						fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 3: uses after invalidation.
+	c.checkGrantRetention(fs, fd, bindings)
+}
+
+// grantBindings collects the variables bound (directly or transitively)
+// to Allocate results in fd, to a fixed point.
+func (c *checker) grantBindings(fd *ast.FuncDecl) []grantBinding {
+	var bindings []grantBinding
+	// Keyed by (object, assignment position): the same variable re-bound
+	// by a later assignment is a second binding, and retention checking
+	// needs every binding site to find the one governing each use.
+	type bindingSite struct {
+		obj types.Object
+		pos token.Pos
+	}
+	seen := make(map[bindingSite]bool)
+	for {
+		grew := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				// g := a.Allocate() is always 1:1; tuple forms with a
+				// grants slice on the right do not occur.
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				rhs = stripAliases(rhs)
+				var key string
+				if call, ok := rhs.(*ast.CallExpr); ok && c.isGrantCall(call) {
+					key = c.receiverKey(call)
+				} else if b := c.trackedGrant(rhs, bindings); b != nil {
+					key = b.allocKey
+				} else {
+					continue
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := c.pkg.Info.Defs[id]
+				if obj == nil {
+					obj = c.pkg.Info.Uses[id]
+				}
+				if obj == nil || seen[bindingSite{obj, as.End()}] {
+					continue
+				}
+				seen[bindingSite{obj, as.End()}] = true
+				// The binding takes effect after the right-hand side has
+				// evaluated, so it is positioned at the assignment's end:
+				// the Allocate call producing the value must not count as
+				// a later invalidation of it.
+				bindings = append(bindings, grantBinding{obj: obj, pos: as.End(), allocKey: key})
+				grew = true
+			}
+			return true
+		})
+		if !grew {
+			return bindings
+		}
+	}
+}
+
+// hasGrantCall reports whether fd contains any Allocate call at all
+// (used to skip pass 2 cheaply when nothing is tracked).
+func (c *checker) hasGrantCall(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && c.isGrantCall(call) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// isGrantCall reports whether e is a call of a method named Allocate
+// returning a slice of an alloc-package Grant type — the allocator
+// contract's scratch-returning entry point, matched structurally so
+// custom allocators outside internal/alloc are covered too.
+func (c *checker) isGrantCall(e ast.Expr) bool {
+	call, ok := stripAliases(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := stripParens(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Allocate" {
+		return false
+	}
+	tv, ok := c.pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isGrantSlice(tv.Type)
+}
+
+// isGrantSlice reports whether t is []Grant for a Grant declared in an
+// alloc package.
+func isGrantSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := sl.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Grant" || named.Obj().Pkg() == nil {
+		return false
+	}
+	return isAllocPath(named.Obj().Pkg().Path())
+}
+
+// isAllocPath reports whether path names an allocator registry package
+// (its final path element is "alloc").
+func isAllocPath(path string) bool {
+	return path == "alloc" || strings.HasSuffix(path, "/alloc")
+}
+
+// stripAliases unwraps parentheses and slice expressions: g[:n] and
+// (g) alias the same backing array as g.
+func stripAliases(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// trackedGrant returns the binding e refers to, or nil. Only direct
+// references (modulo parens and re-slicing) count: element reads like
+// g[i] copy a Grant value and are safe.
+func (c *checker) trackedGrant(e ast.Expr, bindings []grantBinding) *grantBinding {
+	id, ok := stripAliases(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := c.pkg.Info.Uses[id]
+	if obj == nil {
+		obj = c.pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		return nil
+	}
+	for i := range bindings {
+		if bindings[i].obj == obj {
+			return &bindings[i]
+		}
+	}
+	return nil
+}
+
+// checkGrantStore flags assignments whose right-hand side is a tracked
+// grants slice (or a fresh Allocate call) and whose left-hand side
+// outlives the cycle: a struct field or a package-level variable.
+func (c *checker) checkGrantStore(fs *[]Finding, fd *ast.FuncDecl, as *ast.AssignStmt, tracked func(ast.Expr) *grantBinding) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if tracked(rhs) == nil && !c.isGrantCall(rhs) {
+			continue
+		}
+		lhs := stripParens(as.Lhs[i])
+		switch target := c.storeTarget(lhs); target {
+		case storeLocal:
+			// Rebinding a local is how scratch is meant to be used.
+		case storeField:
+			c.report(fs, as.Pos(), "escape/store",
+				"%s stores allocator-owned grants in a struct field; the slice is scratch valid only until the next Allocate/Reset — copy the grants instead",
+				fd.Name.Name)
+		case storeGlobal:
+			c.report(fs, as.Pos(), "escape/store",
+				"%s stores allocator-owned grants in a package-level variable; the slice is scratch valid only until the next Allocate/Reset — copy the grants instead",
+				fd.Name.Name)
+		}
+	}
+}
+
+// storeTarget classifies an assignment destination.
+type storeTarget int
+
+const (
+	storeLocal storeTarget = iota
+	storeField
+	storeGlobal
+)
+
+// storeTarget classifies lhs: a bare identifier is local unless it names
+// a package-level variable; a selector is a field store unless its base
+// is a package name (then it is a foreign global); an index expression
+// classifies by its base.
+func (c *checker) storeTarget(lhs ast.Expr) storeTarget {
+	switch x := stripParens(lhs).(type) {
+	case *ast.Ident:
+		obj := c.pkg.Info.Uses[x]
+		if obj == nil {
+			obj = c.pkg.Info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok && v.Parent() != nil && c.pkg.Types != nil &&
+			v.Parent() == c.pkg.Types.Scope() {
+			return storeGlobal
+		}
+		return storeLocal
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := c.pkg.Info.Uses[id].(*types.PkgName); isPkg {
+				return storeGlobal
+			}
+		}
+		return storeField
+	case *ast.IndexExpr:
+		return c.storeTarget(x.X)
+	case *ast.StarExpr:
+		return c.storeTarget(x.X)
+	default:
+		return storeLocal
+	}
+}
+
+// checkGrantRetention flags uses of a bound grants slice after a later
+// Allocate or Reset call on the same allocator. For each use, the
+// governing binding is the latest one before the use; an invalidating
+// call strictly between them makes the use stale.
+func (c *checker) checkGrantRetention(fs *[]Finding, fd *ast.FuncDecl, bindings []grantBinding) {
+	if len(bindings) == 0 {
+		return
+	}
+	// Invalidation points: Allocate/Reset calls grouped by receiver key.
+	type invalidation struct {
+		pos  token.Pos
+		what string
+	}
+	invals := make(map[string][]invalidation)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := stripParens(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "Allocate" && name != "Reset" {
+			return true
+		}
+		if name == "Allocate" && !c.isGrantCall(call) {
+			return true
+		}
+		if name == "Reset" && !c.isAllocatorReset(call, sel) {
+			return true
+		}
+		if key := c.receiverKey(call); key != "" {
+			invals[key] = append(invals[key], invalidation{pos: call.Pos(), what: name})
+		}
+		return true
+	})
+	if len(invals) == 0 {
+		return
+	}
+	// Bare identifiers on the left of assignments are rebindings, not
+	// uses of the previous (possibly invalidated) value.
+	rebinds := make(map[*ast.Ident]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := stripParens(lhs).(*ast.Ident); ok {
+					rebinds[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || rebinds[id] {
+			return true
+		}
+		obj := c.pkg.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		// Governing binding: the latest binding of obj before this use —
+		// it carries the allocator the use must be checked against.
+		var govern *grantBinding
+		for i := range bindings {
+			b := &bindings[i]
+			if b.obj == obj && b.pos < id.Pos() && (govern == nil || b.pos > govern.pos) {
+				govern = b
+			}
+		}
+		if govern == nil || govern.allocKey == "" {
+			return true
+		}
+		for _, inv := range invals[govern.allocKey] {
+			if inv.pos > govern.pos && inv.pos < id.Pos() {
+				c.report(fs, id.Pos(), "escape/retain",
+					"%s uses grants bound at line %d after a later %s call on the same allocator (line %d); the backing array was invalidated — consume or copy grants before re-allocating",
+					fd.Name.Name, c.mod.Fset.Position(govern.pos).Line, inv.what,
+					c.mod.Fset.Position(inv.pos).Line)
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// isAllocatorReset reports whether call is Reset() on a value whose type
+// implements (or is) an alloc-package Allocator.
+func (c *checker) isAllocatorReset(call *ast.CallExpr, sel *ast.SelectorExpr) bool {
+	if len(call.Args) != 0 {
+		return false
+	}
+	tv, ok := c.pkg.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	// The receiver qualifies when its method set has both Reset() and an
+	// Allocate returning a grants slice.
+	obj, _, _ := types.LookupFieldOrMethod(t, true, c.pkg.Types, "Allocate")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	return isGrantSlice(sig.Results().At(0).Type())
+}
+
+// receiverKey renders the receiver chain of a method call as a stable
+// key identifying the allocator value: "r.alloc" becomes the root
+// variable's object identity plus the field path. An empty key means the
+// receiver is not a simple variable/field chain (e.g. a call result) and
+// retention cannot be matched.
+func (c *checker) receiverKey(call *ast.CallExpr) string {
+	sel, ok := stripParens(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	var parts []string
+	e := sel.X
+	for {
+		switch x := stripParens(e).(type) {
+		case *ast.SelectorExpr:
+			parts = append(parts, x.Sel.Name)
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := c.pkg.Info.Uses[x]
+			if obj == nil {
+				obj = c.pkg.Info.Defs[x]
+			}
+			if obj == nil {
+				return ""
+			}
+			key := obj.Name() + "@" + c.mod.Fset.Position(obj.Pos()).String()
+			for i := len(parts) - 1; i >= 0; i-- {
+				key += "." + parts[i]
+			}
+			return key
+		default:
+			return ""
+		}
+	}
+}

@@ -2,8 +2,11 @@
 // pass. It is built from scratch on the standard library's go/parser,
 // go/ast, go/token and go/types packages (no golang.org/x/tools) and
 // enforces the invariants the simulator's reproducibility story depends
-// on. Three analyzer families run over every non-test package of the
-// module:
+// on. Analysis is inter-procedural: a module-wide call graph (direct
+// calls, interface dispatch via method sets, indirect calls through
+// address-taken func values) carries determinism taint from violation
+// sites to the entry points that can reach them. Five analyzer families
+// run over every non-test package of the module:
 //
 // Determinism (internal/* only). Every experiment must be exactly
 // reproducible from a seed, with all randomness flowing through sim.RNG:
@@ -13,13 +16,17 @@
 //   - determinism/rand: no imports of math/rand or math/rand/v2; the
 //     global generator is seeded per-process, not per-experiment.
 //   - determinism/goroutine: no go statements; goroutine interleaving is
-//     a scheduler decision, not a seed decision. The sole exception is
-//     the ConcurrencyAllowlist (internal/harness), the orchestration
-//     layer that fans out self-contained simulations and merges their
-//     results in canonical order.
+//     a scheduler decision, not a seed decision. The exceptions are the
+//     ConcurrencyAllowlist packages (internal/harness, the orchestration
+//     layer, and internal/lint's own analysis engine).
 //   - determinism/maprange: no for-range over a map whose body writes to
 //     state declared outside the loop; Go randomises map iteration order
 //     per run, so such writes leak nondeterminism into results.
+//   - determinism/reach: no exported function or method of an internal
+//     package may transitively reach an unwaived violation site of the
+//     kinds above through any chain of calls (see taint.go). Waivers and
+//     the ConcurrencyAllowlist propagate along call edges: a waived site
+//     taints nobody.
 //
 // A determinism finding on a line carrying (or immediately preceded by) a
 // "//vixlint:ordered <justification>" comment is waived; the
@@ -46,6 +53,21 @@
 //     "//vixlint:alloc <justification>" comment waives the rule
 //     (rule contracts/waiver polices empty justifications).
 //
+// Scratch escape (all packages except the alloc registries; see
+// escape.go): the []Grant returned by Allocate is allocator-owned
+// scratch.
+//
+//   - escape/store: grants must not be stored into struct fields,
+//     package-level variables, composite literals, or channels.
+//   - escape/retain: grants bound before a later Allocate or Reset call
+//     on the same allocator must not be used after it.
+//
+// Exhaustiveness (internal/* only; see exhaustive.go):
+//
+//   - exhaustive/switch: a switch over a module-declared enum type
+//     (alloc.Kind, router.FlitType, ...) must cover every declared
+//     constant or carry an explicit default.
+//
 // Hygiene (internal/* only; cmd/ and examples/ may print):
 //
 //   - hygiene/print: no fmt.Print/Printf/Println, no references to
@@ -56,16 +78,22 @@
 //     a crash names its origin; panic(err) and other opaque values are
 //     rejected.
 //
-// Findings are reported as "file:line: rule: message". The pass is run by
-// cmd/vixlint and by the self-check test in this package, which makes
-// `go test ./...` fail on any new violation.
+// Waiver hygiene (all packages): rule waiver/stale flags any
+// //vixlint:ordered or //vixlint:alloc directive that suppresses
+// nothing; waivers are auditable exceptions and dead ones rot.
+//
+// Findings are reported as "file:line: rule: message". The engine
+// (engine.go) fans per-package analysis out on a bounded worker pool
+// with deterministic merged output, and cmd/vixlint adds a content-hash
+// finding cache under .vixlint/ so warm reruns skip unchanged packages.
+// The self-check test in this package runs the same analysis, which
+// makes `go test ./...` fail on any new violation.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
-	"sort"
 	"strings"
 
 	"vix/internal/sim"
@@ -84,47 +112,14 @@ func (f Finding) String() string {
 }
 
 // Check loads the module rooted at root and runs every analyzer family,
-// returning findings sorted by file and line.
+// returning findings sorted by file and line. It is the uncached
+// entry point used by tests; cmd/vixlint uses CheckWithOptions.
 func Check(root string) ([]Finding, error) {
 	mod, err := Load(root)
 	if err != nil {
 		return nil, err
 	}
 	return CheckModule(mod), nil
-}
-
-// CheckModule runs every analyzer family over an already-loaded module.
-func CheckModule(mod *Module) []Finding {
-	var fs []Finding
-	for _, pkg := range mod.Packages() {
-		c := &checker{
-			mod:          mod,
-			pkg:          pkg,
-			waivers:      collectWaivers(mod, pkg, waiverDirective),
-			allocWaivers: collectWaivers(mod, pkg, allocWaiverDirective),
-		}
-		if isInternal(pkg.Path) {
-			fs = append(fs, c.determinism()...)
-			fs = append(fs, c.hygiene()...)
-		}
-		if isAllocPackage(pkg) {
-			fs = append(fs, c.contracts()...)
-			fs = append(fs, c.scratch()...)
-		}
-		fs = append(fs, c.mutations()...)
-		fs = append(fs, c.waiverHygiene()...)
-	}
-	sort.Slice(fs, func(i, j int) bool {
-		a, b := fs[i], fs[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		return a.Rule < b.Rule
-	})
-	return fs
 }
 
 // isInternal reports whether the import path is an internal library
@@ -139,12 +134,28 @@ func isAllocPackage(pkg *Package) bool {
 	return pkg.Name == "alloc" && strings.HasSuffix(pkg.Path, "internal/alloc")
 }
 
-// checker carries per-package analysis state.
+// checker carries per-package analysis state. A checker is only ever
+// touched by one goroutine at a time: the single-threaded source phase
+// first, then exactly one pool worker.
 type checker struct {
 	mod          *Module
 	pkg          *Package
-	waivers      map[string]map[int]string // file -> line -> justification ("" = missing)
-	allocWaivers map[string]map[int]string // same, for contracts/scratch waivers
+	waivers      *waiverSet
+	allocWaivers *waiverSet
+	// early holds the findings of the determinism family, which runs in
+	// the single-threaded source-collection phase (its checks double as
+	// taint-source detection).
+	early []Finding
+}
+
+// newChecker builds the checker for one package.
+func newChecker(mod *Module, pkg *Package) *checker {
+	return &checker{
+		mod:          mod,
+		pkg:          pkg,
+		waivers:      collectWaivers(mod, pkg, waiverDirective),
+		allocWaivers: collectWaivers(mod, pkg, allocWaiverDirective),
+	}
 }
 
 // report appends a finding at pos.
@@ -165,10 +176,24 @@ const waiverDirective = "//vixlint:ordered"
 // per call carries the directive with a justification.
 const allocWaiverDirective = "//vixlint:alloc"
 
+// waiverSet holds one directive's occurrences in a package, and tracks
+// which of them actually suppressed a violation — the rest are stale.
+type waiverSet struct {
+	directive string
+	// lines maps file -> directive line -> justification ("" = missing).
+	lines map[string]map[int]string
+	// used maps file -> directive line -> whether it suppressed anything.
+	used map[string]map[int]bool
+}
+
 // collectWaivers scans a package's comments for the given waiver
 // directive.
-func collectWaivers(mod *Module, pkg *Package, directive string) map[string]map[int]string {
-	ws := make(map[string]map[int]string)
+func collectWaivers(mod *Module, pkg *Package, directive string) *waiverSet {
+	ws := &waiverSet{
+		directive: directive,
+		lines:     make(map[string]map[int]string),
+		used:      make(map[string]map[int]bool),
+	}
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, cm := range cg.List {
@@ -177,62 +202,76 @@ func collectWaivers(mod *Module, pkg *Package, directive string) map[string]map[
 					continue
 				}
 				pos := mod.Fset.Position(cm.Pos())
-				if ws[pos.Filename] == nil {
-					ws[pos.Filename] = make(map[int]string)
+				if ws.lines[pos.Filename] == nil {
+					ws.lines[pos.Filename] = make(map[int]string)
+					ws.used[pos.Filename] = make(map[int]bool)
 				}
-				ws[pos.Filename][pos.Line] = strings.TrimSpace(rest)
+				ws.lines[pos.Filename][pos.Line] = strings.TrimSpace(rest)
 			}
 		}
 	}
 	return ws
 }
 
+// covers reports whether a directive sits on pos's line or the line
+// immediately above, marking the directive as used when it does.
+func (ws *waiverSet) covers(mod *Module, pos token.Pos) bool {
+	p := mod.Fset.Position(pos)
+	lines := ws.lines[p.Filename]
+	if lines == nil {
+		return false
+	}
+	hit := false
+	for _, l := range []int{p.Line, p.Line - 1} {
+		if _, ok := lines[l]; ok {
+			ws.used[p.Filename][l] = true
+			hit = true
+		}
+	}
+	return hit
+}
+
 // waived reports whether a determinism finding at pos is covered by a
 // waiver on the same line or the line immediately above.
 func (c *checker) waived(pos token.Pos) bool {
-	return waivedIn(c.mod, c.waivers, pos)
+	return c.waivers.covers(c.mod, pos)
 }
 
 // allocWaived is the contracts/scratch analogue of waived.
 func (c *checker) allocWaived(pos token.Pos) bool {
-	return waivedIn(c.mod, c.allocWaivers, pos)
+	return c.allocWaivers.covers(c.mod, pos)
 }
 
-// waivedIn reports whether ws has a directive on pos's line or the line
-// immediately above.
-func waivedIn(mod *Module, ws map[string]map[int]string, pos token.Pos) bool {
-	p := mod.Fset.Position(pos)
-	lines := ws[p.Filename]
-	if lines == nil {
-		return false
-	}
-	_, same := lines[p.Line]
-	_, above := lines[p.Line-1]
-	return same || above
-}
-
-// waiverHygiene reports waiver directives that lack a justification.
-// A waiver is an auditable exception; "because" is not an audit trail.
-func (c *checker) waiverHygiene() []Finding {
+// waiverFindings reports waiver directives that lack a justification —
+// a waiver is an auditable exception; "because" is not an audit trail —
+// and directives that suppressed nothing across every pass (stale).
+func (c *checker) waiverFindings() []Finding {
 	var fs []Finding
 	for _, file := range c.pkg.Files {
 		name := c.mod.Fset.Position(file.Pos()).Filename
-		for _, line := range sim.SortedKeys(c.waivers[name]) {
-			if c.waivers[name][line] == "" {
-				fs = append(fs, Finding{
-					Pos:  token.Position{Filename: name, Line: line},
-					Rule: "determinism/waiver",
-					Msg:  "vixlint:ordered waiver needs a justification explaining why iteration order cannot leak into results",
-				})
-			}
-		}
-		for _, line := range sim.SortedKeys(c.allocWaivers[name]) {
-			if c.allocWaivers[name][line] == "" {
-				fs = append(fs, Finding{
-					Pos:  token.Position{Filename: name, Line: line},
-					Rule: "contracts/waiver",
-					Msg:  "vixlint:alloc waiver needs a justification for allocating a fresh grants slice per call",
-				})
+		for _, set := range []*waiverSet{c.waivers, c.allocWaivers} {
+			for _, line := range sim.SortedKeys(set.lines[name]) {
+				if set.lines[name][line] == "" {
+					rule, msg := "determinism/waiver",
+						"vixlint:ordered waiver needs a justification explaining why iteration order cannot leak into results"
+					if set.directive == allocWaiverDirective {
+						rule, msg = "contracts/waiver",
+							"vixlint:alloc waiver needs a justification for allocating a fresh grants slice per call"
+					}
+					fs = append(fs, Finding{
+						Pos:  token.Position{Filename: name, Line: line},
+						Rule: rule,
+						Msg:  msg,
+					})
+				}
+				if !set.used[name][line] {
+					fs = append(fs, Finding{
+						Pos:  token.Position{Filename: name, Line: line},
+						Rule: "waiver/stale",
+						Msg: fmt.Sprintf("%s waiver suppresses nothing; remove it (stale waivers hide the audit trail)",
+							set.directive),
+					})
+				}
 			}
 		}
 	}

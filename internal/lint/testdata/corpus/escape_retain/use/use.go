@@ -1,0 +1,37 @@
+// Package use seeds escape/retain violations: grants used after a later
+// Allocate or Reset on the same allocator, plus the clean re-binding and
+// two-allocator patterns.
+package use
+
+import "fix/alloc"
+
+// Stale uses g after a second Allocate on the same allocator.
+func Stale(a *alloc.A) int {
+	g := a.Allocate()
+	h := a.Allocate()
+	return len(g) + len(h)
+}
+
+// AfterReset uses g after Reset invalidates it.
+func AfterReset(a *alloc.A) int {
+	g := a.Allocate()
+	a.Reset()
+	return len(g)
+}
+
+// Rebind re-binds g before the final use: the second binding governs,
+// so nothing is reported.
+func Rebind(a *alloc.A) int {
+	first := len(a.Allocate())
+	g := a.Allocate()
+	total := first + len(g)
+	g = a.Allocate()
+	return total + len(g)
+}
+
+// Two allocators do not invalidate each other's grants.
+func Two(a, b *alloc.A) int {
+	g := a.Allocate()
+	h := b.Allocate()
+	return len(g) + len(h)
+}

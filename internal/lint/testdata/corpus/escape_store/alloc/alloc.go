@@ -1,0 +1,19 @@
+// Package alloc is a minimal allocator with the scratch-returning
+// Allocate contract the escape rules police.
+package alloc
+
+// Grant is one allocator decision.
+type Grant struct{ In, Out int }
+
+// A owns a scratch slice reused across Allocate calls.
+type A struct{ scratch []Grant }
+
+// New sizes the scratch once.
+func New(n int) *A { return &A{scratch: make([]Grant, 0, n)} }
+
+// Allocate returns the reused scratch slice, valid until the next
+// Allocate or Reset call.
+func (a *A) Allocate() []Grant { return a.scratch[:0] }
+
+// Reset clears allocator state and invalidates outstanding grants.
+func (a *A) Reset() {}

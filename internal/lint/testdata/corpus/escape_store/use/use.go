@@ -1,0 +1,27 @@
+// Package use seeds escape/store violations: every way of extending a
+// scratch grants slice's lifetime past the caller's control, plus the
+// clean local-consumption pattern.
+package use
+
+import "fix/alloc"
+
+// held outlives any cycle: storing grants here escapes the scratch.
+var held []alloc.Grant
+
+type keeper struct{ grants []alloc.Grant }
+
+// Keep stores scratch in a struct field.
+func (k *keeper) Keep(a *alloc.A) { k.grants = a.Allocate() }
+
+// Stash stores scratch in a package-level variable.
+func Stash(a *alloc.A) { held = a.Allocate() }
+
+// Send publishes scratch on a channel.
+func Send(a *alloc.A, ch chan []alloc.Grant) { ch <- a.Allocate() }
+
+// Wrap embeds scratch in a composite literal.
+func Wrap(a *alloc.A) [][]alloc.Grant { return [][]alloc.Grant{a.Allocate()} }
+
+// Consume uses scratch locally before the next Allocate: the intended
+// pattern, reported by nothing.
+func Consume(a *alloc.A) int { return len(a.Allocate()) }

@@ -1,0 +1,55 @@
+// Package kind seeds an exhaustive/switch violation: a switch over a
+// module enum that silently drops a variant, next to the two accepted
+// shapes (explicit default, full coverage).
+package kind
+
+// Kind enumerates the fixture's variants.
+type Kind int
+
+// The declared variants.
+const (
+	A Kind = iota
+	B
+	C
+)
+
+// Score misses C and has no default: flagged.
+func Score(k Kind) int {
+	switch k {
+	case A:
+		return 1
+	case B:
+		return 2
+	}
+	return 0
+}
+
+// Defaulted handles unknown variants explicitly: clean.
+func Defaulted(k Kind) int {
+	switch k {
+	case A:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Full covers every variant: clean.
+func Full(k Kind) int {
+	switch k {
+	case A, B:
+		return 1
+	case C:
+		return 2
+	}
+	return 0
+}
+
+// Named switches over a plain string, not a module enum: out of scope.
+func Named(s string) int {
+	switch s {
+	case "a":
+		return 1
+	}
+	return 0
+}

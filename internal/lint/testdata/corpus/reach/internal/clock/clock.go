@@ -1,0 +1,27 @@
+// Package clock seeds determinism/reach violations: an unexported
+// wall-clock read that exported functions and methods reach through
+// calls.
+package clock
+
+import "time"
+
+// stamp is the violation site. It is unexported, so the direct rule
+// fires here and determinism/reach fires at the exported callers.
+func stamp() int64 { return time.Now().UnixNano() }
+
+// Stamp reaches the wall clock one call deep.
+func Stamp() int64 { return stamp() }
+
+// Ticker is dispatched through an interface from the drive package.
+type Ticker struct{}
+
+// Tick reaches the wall clock through a method.
+func (Ticker) Tick() int64 { return stamp() }
+
+// clean reads the clock behind a justified waiver, so no taint leaves it.
+func clean() int64 {
+	return time.Now().Unix() //vixlint:ordered fixture: a waived site must not taint callers
+}
+
+// Clean calls only the waived site and must stay unreported.
+func Clean() int64 { return clean() }

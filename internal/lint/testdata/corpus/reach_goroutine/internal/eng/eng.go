@@ -1,0 +1,19 @@
+// Package eng calls into allowlisted and waived code: the golden file
+// for this fixture is empty, proving the allowlist and waivers suppress
+// taint transitively rather than just at the site.
+package eng
+
+import "fix/internal/harness"
+
+// Run fans out through the allowlisted harness; no reach finding.
+func Run(fns []func()) { harness.FanOut(fns) }
+
+// Total sums a map behind a justified waiver; no reach finding.
+func Total(m map[string]int) int {
+	total := 0
+	//vixlint:ordered summation is order-independent
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

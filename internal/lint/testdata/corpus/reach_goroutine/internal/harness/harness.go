@@ -1,0 +1,19 @@
+// Package harness matches the ConcurrencyAllowlist entry
+// internal/harness: its go statements are legal and must not taint
+// callers in other packages.
+package harness
+
+// FanOut runs every function on its own goroutine and waits.
+func FanOut(fns []func()) {
+	done := make(chan struct{})
+	for _, fn := range fns {
+		fn := fn
+		go func() {
+			fn()
+			done <- struct{}{}
+		}()
+	}
+	for range fns {
+		<-done
+	}
+}
