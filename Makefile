@@ -43,9 +43,12 @@ lint-bench:
 
 # Run the test suite under the race detector. Allocators and routers are
 # documented as not concurrency-safe; this verifies nothing shares them
-# across goroutines by accident.
+# across goroutines by accident. The explicit network run drives the
+# sharded parallel tick (workers >= 2) under -race even on hosts where
+# GOMAXPROCS would otherwise keep the pool on its inline path.
 race:
 	go test -race ./...
+	go test -race -run 'TestParallelTick|TestSteadyStateZeroAllocs' ./internal/network/
 
 test:
 	go test ./...
@@ -63,10 +66,14 @@ sweep:
 
 # Benchmark the harness itself: serial vs parallel wall time over the
 # Figure 8 grid, recorded to BENCH_harness.json for the perf trajectory.
-# Then benchmark the serial cycle loop: cycles/sec of Network.Step on a
-# saturated VIX mesh, recorded to BENCH_cycle.json. cyclebench carries
-# the pre-optimization baseline over from the existing file, so the
-# speedup column keeps comparing against the same reference point.
+# Then benchmark the cycle loop: cycles/sec of Network.Step on a
+# saturated 8x8 VIX mesh (serial), plus the 16x16 parallel-tick section
+# — serial and sharded cycles/sec, the effective worker count, and the
+# host CPU count — recorded to BENCH_cycle.json. cyclebench carries the
+# pre-optimization baseline over from the existing file, so the speedup
+# column keeps comparing against the same reference point, and it exits
+# non-zero if the parallel tick's statistics diverge from the serial
+# loop's (or the >= 1.8x speedup gate fails on a >= 4-CPU host).
 bench-json:
 	go run ./cmd/harnessbench -o BENCH_harness.json
 	@cat BENCH_harness.json

@@ -31,6 +31,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		study    = flag.String("study", "all", "which study: policies, partition, pipeline, speculation, ksweep, allocators, or all")
 		parallel = flag.Int("parallel", 0, "worker count (default GOMAXPROCS)")
+		workers  = flag.Int("workers", 1, "parallel-tick workers per simulation (1 serial, <0 GOMAXPROCS); output is byte-identical for any value")
 		resume   = flag.String("resume", "", "JSONL manifest: checkpoint completed points and skip them on rerun")
 		verbose  = flag.Bool("v", false, "log per-point telemetry (wall time, cycles/sec) to stderr")
 	)
@@ -38,6 +39,7 @@ func main() {
 
 	p := experiments.DefaultParams()
 	p.Warmup, p.Measure, p.Seed = *warmup, *measure, *seed
+	p.TickWorkers = *workers
 	ctx := context.Background()
 	opt := harness.Options{Parallel: *parallel, Manifest: *resume}
 	if *verbose {

@@ -23,6 +23,7 @@ import (
 	"vix/internal/alloc"
 	"vix/internal/network"
 	"vix/internal/router"
+	"vix/internal/stats"
 	"vix/internal/topology"
 	"vix/internal/traffic"
 )
@@ -38,6 +39,25 @@ type report struct {
 	Speedup          float64 `json:"speedup"`
 	MallocsPerCycle  float64 `json:"mallocs_per_cycle"`
 	AllocBytesPerCyc float64 `json:"alloc_bytes_per_cycle"`
+
+	Parallel *parallelReport `json:"parallel,omitempty"`
+}
+
+// parallelReport records the sharded-tick section: the same 16x16
+// workload stepped serially and with -workers shards, the byte-identity
+// verdict, and whether the speedup gate applied on this host.
+type parallelReport struct {
+	Workload       string  `json:"workload"`
+	Workers        int     `json:"workers"`
+	WarmupCycles   int     `json:"warmup_cycles"`
+	MeasureCycles  int     `json:"measure_cycles"`
+	SerialCycSec   float64 `json:"serial_cycles_per_sec"`
+	ParallelCycSec float64 `json:"parallel_cycles_per_sec"`
+	Speedup        float64 `json:"speedup"`
+	StatsIdentical bool    `json:"stats_identical"`
+	// GateEnforced reports whether the >= 1.8x speedup gate applied:
+	// it needs at least 4 CPUs and at least 4 effective workers.
+	GateEnforced bool `json:"gate_enforced"`
 }
 
 func main() {
@@ -48,6 +68,7 @@ func main() {
 		warmup     = flag.Int("warmup", 3000, "warmup cycles (also grows pools/scratch to steady state)")
 		measure    = flag.Int("measure", 20000, "measurement cycles")
 		baseline   = flag.Float64("baseline", 0, "pre-change cycles/sec reference (0: carry over from existing output file)")
+		workers    = flag.Int("workers", -1, "parallel-tick workers for the 16x16 section (<0 GOMAXPROCS)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement window to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the measurement to this file")
 	)
@@ -114,6 +135,7 @@ func main() {
 	}
 	r.BaselineCycSec = resolveBaseline(*baseline, *out, r.CycSec)
 	r.Speedup = r.CycSec / r.BaselineCycSec
+	r.Parallel = benchParallel(*workers, *warmup, *measure/4)
 
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -129,6 +151,68 @@ func main() {
 	}
 	log.Printf("%d cycles in %v: %.0f cycles/sec (baseline %.0f, speedup %.2fx), %.1f mallocs/cycle",
 		*measure, elapsed.Round(time.Millisecond), r.CycSec, r.BaselineCycSec, r.Speedup, r.MallocsPerCycle)
+	if p := r.Parallel; p != nil {
+		log.Printf("parallel: %d workers on %s: %.0f -> %.0f cycles/sec (%.2fx, gate %v)",
+			p.Workers, p.Workload, p.SerialCycSec, p.ParallelCycSec, p.Speedup, p.GateEnforced)
+	}
+}
+
+// benchParallel times the 16x16 saturated VIX mesh serially and with the
+// sharded tick, verifies the two produce identical statistics, and
+// enforces the parallel speedup gate on hosts with enough CPUs. A worker
+// request that resolves to 1 (e.g. GOMAXPROCS on a single-CPU machine)
+// still records the section, with the pool bypassed and speedup ~1.
+func benchParallel(workers, warmup, measure int) *parallelReport {
+	const workload = "16x16 mesh, if:2 (VIX), 6 VCs, uniform random, max injection, seed 1"
+	topo := topology.NewMesh(16, 16)
+	build := func(w int) *network.Network {
+		n, err := network.New(network.Config{
+			Topology: topo,
+			Router: router.Config{
+				Ports: topo.Radix, VCs: 6, VirtualInputs: 2, BufDepth: 5,
+				AllocKind: alloc.KindSeparableIF, Policy: router.PolicyBalanced,
+			},
+			Pattern:      traffic.NewUniform(topo.NumNodes),
+			MaxInjection: true,
+			Seed:         1,
+			Workers:      w,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return n
+	}
+	run := func(w int) (float64, stats.Snapshot, int) {
+		n := build(w)
+		defer n.Close()
+		n.Warmup(warmup)
+		start := time.Now()
+		s := n.Measure(measure)
+		return float64(measure) / time.Since(start).Seconds(), s, n.Workers()
+	}
+
+	serialCycSec, serialSnap, _ := run(1)
+	parallelCycSec, parallelSnap, eff := run(workers)
+	p := &parallelReport{
+		Workload:       workload,
+		Workers:        eff,
+		WarmupCycles:   warmup,
+		MeasureCycles:  measure,
+		SerialCycSec:   serialCycSec,
+		ParallelCycSec: parallelCycSec,
+		Speedup:        parallelCycSec / serialCycSec,
+		StatsIdentical: serialSnap == parallelSnap,
+		GateEnforced:   runtime.NumCPU() >= 4 && eff >= 4,
+	}
+	if !p.StatsIdentical {
+		log.Fatalf("parallel tick diverged: workers=%d stats differ from serial\nserial:   %+v\nparallel: %+v",
+			p.Workers, serialSnap, parallelSnap)
+	}
+	if p.GateEnforced && p.Speedup < 1.8 {
+		log.Fatalf("parallel speedup gate failed: %.2fx with %d workers on %d CPUs (want >= 1.8x)",
+			p.Speedup, p.Workers, runtime.NumCPU())
+	}
+	return p
 }
 
 // resolveBaseline picks the before-change reference: an explicit flag

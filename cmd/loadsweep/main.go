@@ -29,6 +29,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		showPlot = flag.Bool("plot", false, "render ASCII latency and throughput charts")
 		parallel = flag.Int("parallel", 0, "worker count (default GOMAXPROCS)")
+		workers  = flag.Int("workers", 1, "parallel-tick workers per simulation (1 serial, <0 GOMAXPROCS); output is byte-identical for any value")
 		resume   = flag.String("resume", "", "JSONL manifest: checkpoint completed points and skip them on rerun")
 		verbose  = flag.Bool("v", false, "log per-point telemetry (wall time, cycles/sec) to stderr")
 	)
@@ -36,6 +37,7 @@ func main() {
 
 	p := experiments.DefaultParams()
 	p.Warmup, p.Measure, p.Seed = *warmup, *measure, *seed
+	p.TickWorkers = *workers
 	opt := harness.Options{Parallel: *parallel, Manifest: *resume}
 	if *verbose {
 		opt.OnDone = func(r harness.Result) {

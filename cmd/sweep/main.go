@@ -57,6 +57,7 @@ func main() {
 		saturate   = flag.Bool("sat", true, "append a saturation point per scheme")
 		out        = flag.String("o", "", "output file (default stdout)")
 		parallel   = flag.Int("parallel", 0, "worker count (default GOMAXPROCS)")
+		workers    = flag.Int("workers", 1, "parallel-tick workers per simulation (1 serial, <0 GOMAXPROCS); output is byte-identical for any value")
 		resume     = flag.String("resume", "", "JSONL manifest: checkpoint completed points and skip them on rerun")
 		verbose    = flag.Bool("v", false, "log per-point telemetry (wall time, cycles/sec) to stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -123,7 +124,7 @@ func main() {
 			log.Printf("%s: %v (%.0f cycles/sec)", r.Name, r.Telemetry.Duration().Round(time.Millisecond), r.Telemetry.CyclesPerSec)
 		}
 	}
-	err = sweep(context.Background(), base, schemes, rates, *saturate, opt, w)
+	err = sweep(context.Background(), base, schemes, rates, *saturate, *workers, opt, w)
 	// Every exit path closes and checks the output file: an error after
 	// partial rows must not leave a silently truncated artifact behind.
 	if f != nil {
@@ -139,8 +140,8 @@ func main() {
 // sweep builds the grid, runs it through the harness, and renders the
 // merged results as CSV. The writer is flushed and checked before
 // returning on every path.
-func sweep(ctx context.Context, base config.Experiment, schemes []scheme, rates []float64, saturate bool, opt harness.Options, w io.Writer) error {
-	jobs := buildJobs(base, schemes, rates, saturate)
+func sweep(ctx context.Context, base config.Experiment, schemes []scheme, rates []float64, saturate bool, tickWorkers int, opt harness.Options, w io.Writer) error {
+	jobs := buildJobs(base, schemes, rates, saturate, tickWorkers)
 	results, err := harness.Run(ctx, jobs, opt)
 	if err != nil {
 		return err
@@ -166,7 +167,10 @@ func sweep(ctx context.Context, base config.Experiment, schemes []scheme, rates 
 // job's spec is the fully resolved config.Experiment — including the
 // sub-seed derived from the base seed and the point's coordinates — so
 // the manifest invalidates exactly when the point's physics change.
-func buildJobs(base config.Experiment, schemes []scheme, rates []float64, saturate bool) []harness.Job {
+// tickWorkers sets each simulation's parallel-tick width; it is a
+// wall-clock knob with byte-identical output, so it deliberately stays
+// out of the spec and never invalidates a manifest.
+func buildJobs(base config.Experiment, schemes []scheme, rates []float64, saturate bool, tickWorkers int) []harness.Job {
 	var jobs []harness.Job
 	point := func(sc scheme, rate float64, max bool) harness.Job {
 		e := base
@@ -188,10 +192,12 @@ func buildJobs(base config.Experiment, schemes []scheme, rates []float64, satura
 					return nil, err
 				}
 				cfg.DisableFlitPool = disableFlitPool
+				cfg.Workers = tickWorkers
 				n, err := network.New(cfg)
 				if err != nil {
 					return nil, err
 				}
+				defer n.Close()
 				n.Warmup(e.Warmup)
 				s := n.Measure(e.Measure)
 				return []string{

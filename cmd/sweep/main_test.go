@@ -27,10 +27,10 @@ func TestSweepCSVByteIdenticalAcrossWorkers(t *testing.T) {
 	schemes := []scheme{{alloc: "if", k: 1}, {alloc: "if", k: 2}}
 	rates := []float64{0.02, 0.05}
 	var serial, parallel bytes.Buffer
-	if err := sweep(context.Background(), testBase(), schemes, rates, true, harness.Serial(), &serial); err != nil {
+	if err := sweep(context.Background(), testBase(), schemes, rates, true, 1, harness.Serial(), &serial); err != nil {
 		t.Fatal(err)
 	}
-	if err := sweep(context.Background(), testBase(), schemes, rates, true, harness.Options{Parallel: 8}, &parallel); err != nil {
+	if err := sweep(context.Background(), testBase(), schemes, rates, true, 1, harness.Options{Parallel: 8}, &parallel); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
@@ -57,7 +57,7 @@ func TestSweepResumeSplicesManifest(t *testing.T) {
 
 	// First run covers only the first scheme, checkpointing it.
 	var firstOut bytes.Buffer
-	if err := sweep(context.Background(), testBase(), partial, rates, false, harness.Options{Parallel: 2, Manifest: manifest}, &firstOut); err != nil {
+	if err := sweep(context.Background(), testBase(), partial, rates, false, 1, harness.Options{Parallel: 2, Manifest: manifest}, &firstOut); err != nil {
 		t.Fatal(err)
 	}
 
@@ -70,7 +70,7 @@ func TestSweepResumeSplicesManifest(t *testing.T) {
 			cached++
 		}
 	}}
-	if err := sweep(context.Background(), testBase(), full, rates, false, opt, &resumedOut); err != nil {
+	if err := sweep(context.Background(), testBase(), full, rates, false, 1, opt, &resumedOut); err != nil {
 		t.Fatal(err)
 	}
 	if cached != len(rates) {
@@ -78,7 +78,7 @@ func TestSweepResumeSplicesManifest(t *testing.T) {
 	}
 
 	var freshOut bytes.Buffer
-	if err := sweep(context.Background(), testBase(), full, rates, false, harness.Serial(), &freshOut); err != nil {
+	if err := sweep(context.Background(), testBase(), full, rates, false, 1, harness.Serial(), &freshOut); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(resumedOut.Bytes(), freshOut.Bytes()) {
@@ -90,7 +90,7 @@ func TestSweepResumeSplicesManifest(t *testing.T) {
 // points must not share an RNG stream, and the same point must keep its
 // seed when the grid around it changes.
 func TestSweepPointSeedsDiffer(t *testing.T) {
-	jobs := buildJobs(testBase(), []scheme{{alloc: "if", k: 1}, {alloc: "if", k: 2}}, []float64{0.02, 0.05}, true)
+	jobs := buildJobs(testBase(), []scheme{{alloc: "if", k: 1}, {alloc: "if", k: 2}}, []float64{0.02, 0.05}, true, 1)
 	seeds := make(map[uint64]string)
 	for _, j := range jobs {
 		e := j.Spec.(config.Experiment)
@@ -103,7 +103,7 @@ func TestSweepPointSeedsDiffer(t *testing.T) {
 		seeds[e.Seed] = j.Name
 	}
 	// Same point, different grid shape: seed is position-independent.
-	solo := buildJobs(testBase(), []scheme{{alloc: "if", k: 2}}, []float64{0.05}, false)
+	solo := buildJobs(testBase(), []scheme{{alloc: "if", k: 2}}, []float64{0.05}, false, 1)
 	if a, b := solo[0].Spec.(config.Experiment).Seed, findJob(t, jobs, solo[0].Name).Spec.(config.Experiment).Seed; a != b {
 		t.Errorf("point %s changed seed with grid shape: %d vs %d", solo[0].Name, a, b)
 	}
@@ -147,7 +147,7 @@ func TestSweepPooledVsFreshFlitsByteIdentical(t *testing.T) {
 		disableFlitPool = disable
 		defer func() { disableFlitPool = false }()
 		var out bytes.Buffer
-		if err := sweep(context.Background(), testBase(), schemes, rates, true, harness.Serial(), &out); err != nil {
+		if err := sweep(context.Background(), testBase(), schemes, rates, true, 1, harness.Serial(), &out); err != nil {
 			t.Fatal(err)
 		}
 		return out.String()
@@ -156,5 +156,28 @@ func TestSweepPooledVsFreshFlitsByteIdentical(t *testing.T) {
 	fresh := run(true)
 	if pooled != fresh {
 		t.Fatalf("CSV differs between pooled and fresh flit allocation:\npooled:\n%s\nfresh:\n%s", pooled, fresh)
+	}
+}
+
+// TestSweepCSVByteIdenticalAcrossTickWorkers covers the other worker
+// axis: -workers shards each simulation's router tick across a pool,
+// and the CSV must stay byte-identical for any width. The grid is a
+// saturated 8x8 VIX mesh — the workload where the parallel tick
+// actually reorders work the most — plus a subcritical point.
+func TestSweepCSVByteIdenticalAcrossTickWorkers(t *testing.T) {
+	schemes := []scheme{{alloc: "if", k: 2}}
+	rates := []float64{0.05}
+	var ref bytes.Buffer
+	if err := sweep(context.Background(), testBase(), schemes, rates, true, 1, harness.Serial(), &ref); err != nil {
+		t.Fatal(err)
+	}
+	for _, tickWorkers := range []int{2, 8} {
+		var out bytes.Buffer
+		if err := sweep(context.Background(), testBase(), schemes, rates, true, tickWorkers, harness.Serial(), &out); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ref.Bytes(), out.Bytes()) {
+			t.Fatalf("CSV differs between -workers=1 and -workers=%d:\nserial tick:\n%s\nparallel tick:\n%s", tickWorkers, ref.String(), out.String())
+		}
 	}
 }

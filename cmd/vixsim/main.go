@@ -39,6 +39,7 @@ func main() {
 		warmup     = flag.Int("warmup", 2000, "warmup cycles")
 		measure    = flag.Int("measure", 6000, "measurement cycles")
 		seed       = flag.Uint64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 1, "parallel-tick workers (1 serial, <0 GOMAXPROCS); output is byte-identical for any value")
 	)
 	flag.Parse()
 
@@ -69,10 +70,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfg.Workers = *workers
 	n, err := network.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer n.Close()
 	n.Warmup(exp.Warmup)
 	s := n.Measure(exp.Measure)
 

@@ -22,6 +22,7 @@ package alloc
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"vix/internal/arb"
@@ -215,55 +216,104 @@ func Validate(rs *RequestSet, grants []Grant) error {
 	return nil
 }
 
+// bitset is a packed occupancy-word set over a fixed index space, sized
+// at construction. The scratch structures use it to remember which
+// entries the previous cycle dirtied, so a cycle clears O(dirty) entries
+// instead of sweeping the whole space, and allocators walk only occupied
+// entries instead of scanning every slot. Walks iterate set bits in
+// ascending index order (word by word, bits.TrailingZeros64 within a
+// word), so replacing a dense 0..n loop with a bitset walk visits the
+// same indices in the same order — behaviour stays byte-identical.
+type bitset []uint64
+
+// newBitset returns an all-clear bitset covering indices [0, n).
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+// set marks index i.
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
 // rowScratch groups request indices by crossbar row without per-cycle
 // allocation: the per-row lists are truncated and refilled on every
 // group call, so their backing arrays reach steady state and stay there.
+// An occupancy bitset tracks which rows the last fill touched; group
+// truncates only those, and callers can walk occupied() instead of
+// scanning all Rows entries.
 type rowScratch struct {
 	rows [][]int
+	occ  bitset // rows holding requests from the last group call
 }
 
 // newRowScratch sizes the per-row lists for cfg.
 func newRowScratch(cfg Config) rowScratch {
-	return rowScratch{rows: make([][]int, cfg.Rows())}
+	return rowScratch{rows: make([][]int, cfg.Rows()), occ: newBitset(cfg.Rows())}
 }
 
 // group refills the per-row request-index lists from rs and returns
 // them; the result has Config.Rows() entries and is valid until the
-// next group call.
+// next group call. Rows absent from occupied() are guaranteed empty.
 func (s *rowScratch) group(rs *RequestSet) [][]int {
-	for i := range s.rows {
-		s.rows[i] = s.rows[i][:0]
+	for wi, w := range s.occ {
+		if w == 0 {
+			continue
+		}
+		for ; w != 0; w &= w - 1 {
+			row := wi<<6 + bits.TrailingZeros64(w)
+			s.rows[row] = s.rows[row][:0]
+		}
+		s.occ[wi] = 0
 	}
 	for i, r := range rs.Requests {
 		row := rs.Config.Row(r.Port, r.VC)
+		s.occ.set(row)
 		s.rows[row] = append(s.rows[row], i)
 	}
 	return s.rows
 }
 
+// occupied returns the occupancy words of the last group call: bit i is
+// set exactly when rows[i] is non-empty. Valid until the next group call.
+func (s *rowScratch) occupied() bitset { return s.occ }
+
 // cellScratch groups request indices by (crossbar row, output port) cell
 // of the request matrix, replacing the per-cycle maps the matrix-style
-// allocators (wavefront, augmenting-path, iSLIP) used to build.
+// allocators (wavefront, augmenting-path, iSLIP) used to build. An
+// occupancy bitset remembers the cells the last cycle filled, so clear
+// touches O(requests) cells rather than the whole Rows x Ports matrix.
 type cellScratch struct {
 	outs  int
 	cells [][]int // cells[row*outs+out] = request indices, refilled per cycle
+	occ   bitset  // cells holding indices since the last clear
 }
 
 // newCellScratch sizes the cell lists for cfg.
 func newCellScratch(cfg Config) cellScratch {
-	return cellScratch{outs: cfg.Ports, cells: make([][]int, cfg.Rows()*cfg.Ports)}
+	return cellScratch{
+		outs:  cfg.Ports,
+		cells: make([][]int, cfg.Rows()*cfg.Ports),
+		occ:   newBitset(cfg.Rows() * cfg.Ports),
+	}
 }
 
-// clear truncates every cell list for the next cycle.
+// clear truncates the cell lists dirtied since the last clear; all other
+// cells are empty by induction.
 func (s *cellScratch) clear() {
-	for i := range s.cells {
-		s.cells[i] = s.cells[i][:0]
+	for wi, w := range s.occ {
+		if w == 0 {
+			continue
+		}
+		for ; w != 0; w &= w - 1 {
+			c := wi<<6 + bits.TrailingZeros64(w)
+			s.cells[c] = s.cells[c][:0]
+		}
+		s.occ[wi] = 0
 	}
 }
 
 // add appends a request index to the (row, out) cell.
 func (s *cellScratch) add(row, out, idx int) {
-	s.cells[row*s.outs+out] = append(s.cells[row*s.outs+out], idx)
+	c := row*s.outs + out
+	s.occ.set(c)
+	s.cells[c] = append(s.cells[c], idx)
 }
 
 // at returns the request indices of the (row, out) cell.

@@ -1,6 +1,10 @@
 package alloc
 
-import "vix/internal/arb"
+import (
+	"math/bits"
+
+	"vix/internal/arb"
+)
 
 // SeparableIF is the input-first separable allocator. It allocates in two
 // phases: one input arbiter per crossbar row selects a candidate VC among
@@ -23,9 +27,10 @@ type SeparableIF struct {
 
 	// scratch buffers reused across cycles to avoid per-cycle allocation.
 	slotReq   []bool
-	rowReq    []bool
-	candidate []int // per row: winning request index, -1 if none
-	slotToReq []int // per slot: offered request index, -1 if none
+	rowReq    []bool   // all-false between phase-two output arbitrations
+	candidate []int    // per row: winning request index; stale for rows absent from outMask
+	slotToReq []int    // per slot: offered request index, -1 if none
+	outMask   []bitset // per output port: rows whose phase-one candidate requests it
 	rowReqs   rowScratch
 	grants    []Grant
 }
@@ -40,8 +45,12 @@ func NewSeparableIF(cfg Config) *SeparableIF {
 		rowReq:    make([]bool, cfg.Rows()),
 		candidate: make([]int, cfg.Rows()),
 		slotToReq: make([]int, cfg.GroupSize()),
+		outMask:   make([]bitset, cfg.Ports),
 		rowReqs:   newRowScratch(cfg),
 		grants:    make([]Grant, 0, cfg.Ports),
+	}
+	for i := range s.outMask {
+		s.outMask[i] = newBitset(cfg.Rows())
 	}
 	s.inputArbs = make([]arb.Arbiter, cfg.Rows())
 	for i := range s.inputArbs {
@@ -74,35 +83,44 @@ func (s *SeparableIF) Reset() {
 func (s *SeparableIF) Allocate(rs *RequestSet) []Grant {
 	rows := s.rowReqs.group(rs)
 
-	// Phase one: each crossbar row's input arbiter picks one VC.
-	for row := range s.candidate {
-		s.candidate[row] = -1
-		if len(rows[row]) == 0 {
-			continue
-		}
-		for i := range s.slotReq {
-			s.slotReq[i] = false
-		}
-		// Map request indices onto arbiter slots.
-		slotToReq := s.fillSlots(rows[row], rs)
-		for slot, reqIdx := range slotToReq {
-			s.slotReq[slot] = reqIdx >= 0
-		}
-		if slot := s.inputArbs[row].Arbitrate(s.slotReq); slot >= 0 {
-			s.candidate[row] = slotToReq[slot]
+	// Phase one: each occupied crossbar row's input arbiter picks one VC.
+	// The occupancy walk visits rows in ascending order — exactly the
+	// rows the dense 0..Rows loop would have worked on — and sorts each
+	// candidate into its output's packed row mask as it is chosen.
+	// Candidate entries of skipped rows go stale, which is safe: phase
+	// two reads candidate[row] only for rows present in a mask.
+	for wi, w := range s.rowReqs.occupied() {
+		for ; w != 0; w &= w - 1 {
+			row := wi<<6 + bits.TrailingZeros64(w)
+			for i := range s.slotReq {
+				s.slotReq[i] = false
+			}
+			// Map request indices onto arbiter slots.
+			slotToReq := s.fillSlots(rows[row], rs)
+			for slot, reqIdx := range slotToReq {
+				s.slotReq[slot] = reqIdx >= 0
+			}
+			if slot := s.inputArbs[row].Arbitrate(s.slotReq); slot >= 0 {
+				reqIdx := slotToReq[slot]
+				s.candidate[row] = reqIdx
+				s.outMask[rs.Requests[reqIdx].OutPort].set(row)
+			}
 		}
 	}
 
-	// Phase two: each output arbiter picks one row among candidates.
+	// Phase two: each output arbiter picks one row among the candidates
+	// requesting it. The packed mask replaces the old scan of every
+	// row's candidate per output — O(candidates) total instead of
+	// O(Ports x Rows) — and the expanded rowReq bits presented to the
+	// arbiter are identical to the dense scan's, so arbitration (and the
+	// grant sequence) is unchanged.
 	s.grants = s.grants[:0]
 	for out := 0; out < s.cfg.Ports; out++ {
-		for i := range s.rowReq {
-			s.rowReq[i] = false
-		}
+		mask := s.outMask[out]
 		any := false
-		for row, reqIdx := range s.candidate {
-			if reqIdx >= 0 && rs.Requests[reqIdx].OutPort == out {
-				s.rowReq[row] = true
+		for wi, w := range mask {
+			for ; w != 0; w &= w - 1 {
+				s.rowReq[wi<<6+bits.TrailingZeros64(w)] = true
 				any = true
 			}
 		}
@@ -115,6 +133,17 @@ func (s *SeparableIF) Allocate(rs *RequestSet) []Grant {
 		// iSLIP pointer update: both arbiters advance only on a grant.
 		s.outputArbs[out].Ack(row)
 		s.inputArbs[row].Ack(s.cfg.Slot(req.VC))
+		// Restore the all-false rowReq invariant and drain the mask for
+		// the next cycle.
+		for wi, w := range mask {
+			if w == 0 {
+				continue
+			}
+			for ; w != 0; w &= w - 1 {
+				s.rowReq[wi<<6+bits.TrailingZeros64(w)] = false
+			}
+			mask[wi] = 0
+		}
 	}
 	return s.grants
 }

@@ -1,6 +1,10 @@
 package alloc
 
-import "vix/internal/arb"
+import (
+	"math/bits"
+
+	"vix/internal/arb"
+)
 
 // Wavefront implements the wavefront allocator of Tamir and Chi. It sweeps
 // priority diagonals across the row x output request matrix, granting
@@ -25,12 +29,13 @@ type Wavefront struct {
 	vcPick []arb.Arbiter // per row: picks among sub-group VCs requesting the granted output
 
 	// scratch
-	cell     [][]int // cell[row][out] = request index representative, -1 if none
-	rowBusy  []bool
-	outBusy  []bool
-	cellReqs cellScratch
-	slots    vcPickScratch
-	grants   []Grant
+	cell      [][]int // cell[row][out] = request index representative, -1 if none
+	cellDirty bitset  // flattened (row, out) cells holding a request index
+	rowBusy   []bool
+	outBusy   []bool
+	cellReqs  cellScratch
+	slots     vcPickScratch
+	grants    []Grant
 }
 
 // NewWavefront returns a wavefront allocator for cfg. It panics if cfg is
@@ -48,7 +53,11 @@ func NewWavefront(cfg Config) *Wavefront {
 	w.cell = make([][]int, cfg.Rows())
 	for i := range w.cell {
 		w.cell[i] = make([]int, cfg.Ports)
+		for j := range w.cell[i] {
+			w.cell[i][j] = -1
+		}
 	}
+	w.cellDirty = newBitset(cfg.Rows() * cfg.Ports)
 	w.vcPick = make([]arb.Arbiter, cfg.Rows())
 	for i := range w.vcPick {
 		w.vcPick[i] = arb.NewRoundRobin(cfg.GroupSize())
@@ -71,11 +80,21 @@ func (w *Wavefront) Reset() {
 // until the next Allocate or Reset call.
 func (w *Wavefront) Allocate(rs *RequestSet) []Grant {
 	rows, outs := w.cfg.Rows(), w.cfg.Ports
+	// Reset only the cells the previous cycle populated; every other cell
+	// already holds -1 (set at construction, restored here each cycle),
+	// so the clear costs O(previous requests), not O(rows x outs).
+	for wi, word := range w.cellDirty {
+		if word == 0 {
+			continue
+		}
+		for ; word != 0; word &= word - 1 {
+			c := wi<<6 + bits.TrailingZeros64(word)
+			w.cell[c/outs][c%outs] = -1
+		}
+		w.cellDirty[wi] = 0
+	}
 	for i := 0; i < rows; i++ {
 		w.rowBusy[i] = false
-		for j := 0; j < outs; j++ {
-			w.cell[i][j] = -1
-		}
 	}
 	for j := 0; j < outs; j++ {
 		w.outBusy[j] = false
@@ -89,6 +108,7 @@ func (w *Wavefront) Allocate(rs *RequestSet) []Grant {
 		row := w.cfg.Row(r.Port, r.VC)
 		w.cellReqs.add(row, r.OutPort, idx)
 		w.cell[row][r.OutPort] = idx
+		w.cellDirty.set(row*outs + r.OutPort)
 	}
 
 	n := rows

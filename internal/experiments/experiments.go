@@ -46,6 +46,11 @@ type Params struct {
 	Warmup     int
 	Measure    int
 	Seed       uint64
+	// TickWorkers is each simulation's parallel-tick width
+	// (network.Config.Workers): 0 or 1 serial, negative GOMAXPROCS. A
+	// wall-clock knob with byte-identical output, so it stays out of
+	// every point's spec and never invalidates a manifest.
+	TickWorkers int
 }
 
 // DefaultParams returns the paper's configuration with laptop-scale
@@ -95,6 +100,7 @@ func buildConfig(topo *topology.Topology, s Scheme, p Params, rate float64, maxI
 		MaxInjection:  maxInj,
 		PacketSize:    p.PacketSize,
 		Seed:          p.Seed,
+		Workers:       p.TickWorkers,
 	}
 }
 
@@ -104,6 +110,7 @@ func runOne(topo *topology.Topology, s Scheme, p Params, rate float64, maxInj bo
 	if err != nil {
 		return stats.Snapshot{}, fmt.Errorf("experiments: %s on %s: %w", s.Label, topo.Name, err)
 	}
+	defer n.Close()
 	n.Warmup(p.Warmup)
 	return n.Measure(p.Measure), nil
 }

@@ -106,6 +106,7 @@ func (g GridPoint) Job(root uint64) harness.Job {
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s: %w", strings.Join(g.Labels, "/"), err)
 			}
+			defer n.Close()
 			n.Warmup(warmup)
 			return toRecord(n.Measure(measure)), nil
 		},

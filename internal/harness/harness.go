@@ -22,9 +22,14 @@
 //     their cached values into the merged output, so an interrupted grid
 //     finishes exactly where an uninterrupted one would have.
 //
-// Concurrency is legal only here: vixlint's determinism pass allowlists
-// this package for go statements and keeps them forbidden in every
-// simulation package (see internal/lint).
+// Jobs execute on a sim.Pool, the shared bounded worker pool that also
+// powers the network's sharded parallel tick. When the effective worker
+// count is one — an explicit -parallel=1, a one-job grid, or a
+// single-CPU host — the pool runs every job inline on the calling
+// goroutine, so serial grid runs pay no channel or goroutine overhead
+// over the old one-point-at-a-time loops. Concurrency remains confined
+// to the packages vixlint's determinism pass allowlists (see
+// internal/lint); simulation packages stay goroutine-free.
 package harness
 
 import (
@@ -34,6 +39,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"vix/internal/sim"
 )
 
 // Job is one self-contained experiment point of a grid.
@@ -185,47 +192,38 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
 	if workers > len(todo) {
 		workers = len(todo)
 	}
+	if workers < 1 {
+		workers = 1
+	}
 
-	feed := make(chan int)
-	go func() {
-		defer close(feed)
-		for _, i := range todo {
-			select {
-			case feed <- i:
-			case <-runCtx.Done():
+	// The pool runs jobs by their position in todo. With one effective
+	// worker — explicit -parallel=1, a one-job grid, or a single-CPU host
+	// — Pool.Do executes every job inline on this goroutine: no feed
+	// channel, no worker spawn, no handoff overhead, so a serial grid run
+	// costs what the old one-point-at-a-time loop cost.
+	pool := sim.NewPool(workers)
+	defer pool.Close()
+	pool.Do(len(todo), func(k int) {
+		i := todo[k]
+		if runCtx.Err() != nil {
+			return
+		}
+		res, err := runJob(runCtx, jobs[i], results[i])
+		if err != nil {
+			fail(err)
+			return
+		}
+		if man != nil {
+			if err := man.append(entry{ID: res.ID, Name: res.Name, Value: res.Value, Telemetry: res.Telemetry}); err != nil {
+				fail(err)
 				return
 			}
 		}
-	}()
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range feed {
-				if runCtx.Err() != nil {
-					return
-				}
-				res, err := runJob(runCtx, jobs[i], results[i])
-				if err != nil {
-					fail(err)
-					continue
-				}
-				if man != nil {
-					if err := man.append(entry{ID: res.ID, Name: res.Name, Value: res.Value, Telemetry: res.Telemetry}); err != nil {
-						fail(err)
-						continue
-					}
-				}
-				results[i] = res
-				if opt.OnDone != nil {
-					opt.OnDone(res)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+		results[i] = res
+		if opt.OnDone != nil {
+			opt.OnDone(res)
+		}
+	})
 
 	if len(jobErrs) > 0 {
 		return results, errors.Join(jobErrs...)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -339,5 +340,30 @@ func TestManifestEntriesAreCanonicalJSON(t *testing.T) {
 		if e.Telemetry.Cycles != 1000 || e.Telemetry.WallNanos < 0 {
 			t.Fatalf("manifest telemetry implausible: %+v", e.Telemetry)
 		}
+	}
+}
+
+// TestSerialRunExecutesInline pins the single-worker fast path: with
+// Parallel=1 every job must run on the calling goroutine with no worker
+// goroutines or feed channels in between — the regression that cost a
+// serial sweep 4% on a single-CPU host. A job's stack must contain this
+// test's frame, and the process goroutine count must not move.
+func TestSerialRunExecutesInline(t *testing.T) {
+	var stack string
+	jobs := fakeGrid(4)
+	jobs[2].Run = func(context.Context) (any, error) {
+		buf := make([]byte, 1<<16)
+		stack = string(buf[:runtime.Stack(buf, false)])
+		return map[string]uint64{"point": 2}, nil
+	}
+	before := runtime.NumGoroutine()
+	if _, err := Run(context.Background(), jobs, Options{Parallel: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine count grew from %d to %d; serial Run must not spawn", before, after)
+	}
+	if !strings.Contains(stack, "TestSerialRunExecutesInline") {
+		t.Errorf("job did not run on the calling goroutine; stack:\n%s", stack)
 	}
 }

@@ -20,6 +20,15 @@ var ConcurrencyAllowlist = map[string]bool{
 	// order and sorted before reporting, so worker scheduling cannot
 	// reach the output; and lint never touches simulation state.
 	"internal/lint": true,
+	// internal/sim hosts the shared bounded worker pool (sim.Pool) that
+	// the harness and the network's parallel tick both run on; it is the
+	// one place goroutines are spawned on their behalf.
+	"internal/sim": true,
+	// internal/network's Step ticks routers on shards of a sim.Pool and
+	// merges the results in router-index order on the stepping
+	// goroutine, so output is byte-identical for any worker count; the
+	// network package itself contains no go statements.
+	"internal/network": true,
 }
 
 // concurrencyAllowed reports whether the package under analysis may use

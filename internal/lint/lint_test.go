@@ -169,10 +169,11 @@ func NotWaived(m map[string]int) {
 }
 
 // TestConcurrencyAllowlist covers both sides of the goroutine rule: go
-// statements are legal in the allowlisted orchestration package
-// (internal/harness) and nowhere else — including a package merely named
+// statements are legal in the allowlisted orchestration packages
+// (internal/harness among them) and nowhere else — not in simulation
+// packages like internal/alloc, and not in a package merely named
 // harness at another path. Every other determinism rule still binds
-// inside the allowlisted package.
+// inside the allowlisted packages.
 func TestConcurrencyAllowlist(t *testing.T) {
 	findings := checkModule(t, map[string]string{
 		"internal/harness/pool.go": `package harness
@@ -197,7 +198,7 @@ func Stamp() int64 {
 	return time.Now().UnixNano()
 }
 `,
-		"internal/sim/pool.go": `package sim
+		"internal/alloc/pool.go": `package alloc
 
 func Sneaky(fn func()) {
 	go fn()
@@ -212,9 +213,9 @@ func AlsoSneaky(fn func()) {
 	})
 	wantNone(t, findings, "determinism/rand")
 	if got := count(findings, "determinism/goroutine"); got != 2 {
-		t.Errorf("goroutine findings = %d, want 2 (sim and nested/harness only)\n%s", got, render(findings))
+		t.Errorf("goroutine findings = %d, want 2 (alloc and nested/harness only)\n%s", got, render(findings))
 	}
-	want(t, findings, "determinism/goroutine", "sim/pool.go", 4)
+	want(t, findings, "determinism/goroutine", "alloc/pool.go", 4)
 	want(t, findings, "determinism/goroutine", "nested/harness/pool.go", 4)
 	// The allowlist covers goroutines only: wall-clock reads in the
 	// harness still need an explicit, justified waiver.

@@ -101,6 +101,20 @@ type Config struct {
 	// panics with a diagnostic (a correct DOR configuration can never
 	// trip it). Zero selects the default; negative disables the check.
 	DeadlockCycles int
+
+	// Workers is the number of workers the per-cycle router tick fans
+	// out across. 0 or 1 runs the classic serial loop; N > 1 ticks
+	// routers on N workers (the stepping goroutine plus up to N-1 pooled
+	// goroutines); negative selects GOMAXPROCS. Statistics and ejection
+	// order are byte-identical for every value: within a cycle routers
+	// interact only through the delayed link/credit/ejection wheels, so
+	// router ticks are data-independent, and all cross-router effects
+	// are merged in router-index order on the stepping goroutine (see
+	// parallel.go). Traffic generation and injection always stay on the
+	// stepping goroutine, which owns the RNG streams. A network with
+	// Workers > 1 parks background goroutines between cycles; call Close
+	// to release them when the instance is done.
+	Workers int
 }
 
 // Defaults for the three-stage pipeline of Figure 6(b).
@@ -238,6 +252,13 @@ type Network struct {
 	inFlight int64 // flits inside routers or on links (not source queues)
 
 	lastEjectCycle int64 // watchdog: last cycle any flit ejected
+
+	// Parallel tick state (nil/empty when Workers <= 1): the shard pool,
+	// the block partition of routers, and the phase-A function value,
+	// built once so the per-cycle fan-out allocates nothing.
+	pool    *sim.Pool
+	shards  []tickShard
+	shardFn func(int)
 }
 
 // New builds a network simulation from cfg.
@@ -279,6 +300,7 @@ func New(cfg Config) (*Network, error) {
 	for node := 0; node < topo.NumNodes; node++ {
 		n.nis[node] = &ni{node: node, rng: root.Fork(uint64(node)), curVC: -1}
 	}
+	n.initParallel()
 	return n, nil
 }
 
@@ -365,18 +387,19 @@ func (n *Network) Step() {
 		n.inject(nif)
 	}
 
-	// Router pipelines.
-	for r, rt := range n.routers {
-		ems, credits := rt.Tick()
-		for _, e := range ems {
-			n.forward(r, e)
-		}
-		for _, cm := range credits {
-			conn := n.topo.Conn[r][cm.Port]
-			upSlot := int((n.cycle + int64(n.cfg.CreditDelay)) % int64(n.qlen))
-			n.credQ[upSlot] = append(n.credQ[upSlot], creditDelivery{
-				router: conn.PeerRouter, outPort: conn.PeerPort, vc: cm.VC,
-			})
+	// Router pipelines: serial loop, or the two-phase sharded tick when
+	// Workers > 1 (parallel.go) — byte-identical by construction.
+	if n.pool != nil {
+		n.tickRoutersParallel()
+	} else {
+		for r, rt := range n.routers {
+			ems, credits := rt.Tick()
+			for _, e := range ems {
+				n.forward(r, e)
+			}
+			for _, cm := range credits {
+				n.scheduleCredit(r, cm)
+			}
 		}
 	}
 
@@ -409,6 +432,16 @@ func (n *Network) forward(r int, e router.Emission) {
 	default:
 		panic(fmt.Sprintf("network: emission through unused port %d of router %d", e.OutPort, r))
 	}
+}
+
+// scheduleCredit returns a freed credit to the upstream router after the
+// credit delay.
+func (n *Network) scheduleCredit(r int, cm router.CreditMsg) {
+	conn := n.topo.Conn[r][cm.Port]
+	upSlot := int((n.cycle + int64(n.cfg.CreditDelay)) % int64(n.qlen))
+	n.credQ[upSlot] = append(n.credQ[upSlot], creditDelivery{
+		router: conn.PeerRouter, outPort: conn.PeerPort, vc: cm.VC,
+	})
 }
 
 // eject retires a flit at its destination and updates statistics.

@@ -1,0 +1,174 @@
+package network
+
+import (
+	"fmt"
+	"runtime"
+
+	"vix/internal/router"
+	"vix/internal/sim"
+	"vix/internal/stats"
+	"vix/internal/topology"
+)
+
+// This file implements the two-phase parallel router tick selected by
+// Config.Workers > 1. The determinism argument:
+//
+//   - Phase A (parallel): routers are block-partitioned by index into
+//     shards, and each shard ticks its routers on one pool worker. Within
+//     a cycle, a router tick reads and writes only router-local state —
+//     input buffers, credit counters, arbiter pointers — because all
+//     cross-router traffic travels through the delayed flitQ/credQ/ejectQ
+//     wheels, which are only written in phase B and only read at the top
+//     of the next Step. Phase A therefore computes, for every router, the
+//     identical emissions and credits the serial loop would have, no
+//     matter how shards are scheduled. Each shard also pre-computes the
+//     lookahead routes of its link emissions (a pure topology function)
+//     and accumulates the datapath activity counters into a private
+//     stats.Delta.
+//
+//   - Phase B (stepping goroutine): shards are merged in router-index
+//     order — every queue append, credit schedule, and counter merge
+//     happens in exactly the order the serial loop performs them. Integer
+//     counter merges are order-independent anyway; the queue appends are
+//     what byte-identity actually rests on, and index-ordered merging
+//     makes them literally identical.
+//
+// Traffic generation, injection, ejection, and the workload callbacks
+// never leave the stepping goroutine: they own the RNG streams and the
+// order-sensitive float latency accumulation.
+//
+// The shard scratch holds only slice headers: Router.Tick's returned
+// emissions and credits are router-owned scratch valid until that
+// router's next Tick, which cannot happen before phase B of this cycle
+// completes, so no copying is needed and the steady state allocates
+// nothing.
+
+// tickShard is one contiguous block of routers plus the phase-A results
+// its worker produced this cycle.
+type tickShard struct {
+	lo, hi int // router index range [lo, hi)
+
+	ems   [][]router.Emission  // per router: Tick's emission scratch
+	creds [][]router.CreditMsg // per router: Tick's credit scratch
+	delta stats.Delta          // activity counters accumulated in phase A
+}
+
+// resolveWorkers maps Config.Workers onto an effective worker count.
+func resolveWorkers(w int) int {
+	switch {
+	case w == 0:
+		return 1
+	case w < 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return w
+	}
+}
+
+// initParallel builds the shard partition and worker pool when the
+// configuration asks for a parallel tick. With one effective worker (or a
+// one-router network) the network stays on the serial loop.
+func (n *Network) initParallel() {
+	workers := resolveWorkers(n.cfg.Workers)
+	if workers > len(n.routers) {
+		workers = len(n.routers)
+	}
+	if workers <= 1 {
+		return
+	}
+	n.pool = sim.NewPool(workers)
+	n.shards = make([]tickShard, workers)
+	nr := len(n.routers)
+	for i := range n.shards {
+		lo, hi := nr*i/workers, nr*(i+1)/workers
+		n.shards[i] = tickShard{
+			lo: lo, hi: hi,
+			ems:   make([][]router.Emission, hi-lo),
+			creds: make([][]router.CreditMsg, hi-lo),
+		}
+	}
+	// Built once: handing a fresh method value to Pool.Do every cycle
+	// would allocate.
+	n.shardFn = n.runShard
+}
+
+// runShard is phase A for one shard: tick the shard's routers, keep the
+// per-router emission and credit slice headers, pre-compute lookahead
+// routes for link emissions, and accumulate the activity counters the
+// serial loop's forward() would have recorded.
+func (n *Network) runShard(si int) {
+	s := &n.shards[si]
+	var d stats.Delta
+	for r := s.lo; r < s.hi; r++ {
+		ems, creds := n.routers[r].Tick()
+		j := r - s.lo
+		s.ems[j], s.creds[j] = ems, creds
+		for _, e := range ems {
+			d.BufferReads++
+			d.XbarTraversals++
+			conn := &n.topo.Conn[r][e.OutPort]
+			if conn.Kind == topology.Link {
+				d.LinkTraversals++
+				e.Flit.Route = n.route(n.topo, conn.PeerRouter, e.Flit.Dst)
+			}
+		}
+	}
+	s.delta = d
+}
+
+// tickRoutersParallel runs phase A across the pool, then merges every
+// shard in router-index order on the stepping goroutine.
+func (n *Network) tickRoutersParallel() {
+	n.pool.Do(len(n.shards), n.shardFn)
+	for si := range n.shards {
+		s := &n.shards[si]
+		n.col.Merge(s.delta)
+		for j := range s.ems {
+			r := s.lo + j
+			for _, e := range s.ems[j] {
+				n.deliverEmission(r, e)
+			}
+			for _, cm := range s.creds[j] {
+				n.scheduleCredit(r, cm)
+			}
+		}
+	}
+}
+
+// deliverEmission is the phase-B half of forward: the emission's route
+// and activity counters were already handled in the shard tick, so only
+// the order-sensitive queue append remains.
+func (n *Network) deliverEmission(r int, e router.Emission) {
+	conn := n.topo.Conn[r][e.OutPort]
+	arrive := int((n.cycle + int64(n.cfg.HopDelay)) % int64(n.qlen))
+	switch conn.Kind {
+	case topology.Link:
+		n.flitQ[arrive] = append(n.flitQ[arrive], flitDelivery{
+			router: conn.PeerRouter, port: conn.PeerPort, vc: e.Flit.VC, flit: e.Flit,
+		})
+	case topology.Local:
+		n.ejectQ[arrive] = append(n.ejectQ[arrive], e.Flit)
+	default:
+		panic(fmt.Sprintf("network: emission through unused port %d of router %d", e.OutPort, r))
+	}
+}
+
+// Workers returns the effective parallel-tick worker count (1 for the
+// serial loop).
+func (n *Network) Workers() int {
+	if n.pool == nil {
+		return 1
+	}
+	return n.pool.Workers()
+}
+
+// Close releases the parallel-tick workers parked between cycles. It is
+// a no-op for serial networks and is idempotent; a closed network may
+// even keep stepping (the pool restarts its workers lazily), but callers
+// that construct many parallel networks — sweeps, tests — should Close
+// each one when done so parked goroutines do not accumulate.
+func (n *Network) Close() {
+	if n.pool != nil {
+		n.pool.Close()
+	}
+}

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"fmt"
 	"testing"
 
 	"vix/internal/alloc"
@@ -11,12 +12,18 @@ import (
 // saturatedMesh builds the workload every Figure 8 sweep spends its
 // cycles in: an 8x8 VIX mesh under saturated uniform-random load.
 func saturatedMesh(tb testing.TB) *Network {
+	return saturatedMeshWorkers(tb, 1)
+}
+
+// saturatedMeshWorkers is saturatedMesh with a parallel-tick worker count.
+func saturatedMeshWorkers(tb testing.TB, workers int) *Network {
 	tb.Helper()
 	topo := topology.NewMesh(8, 8)
 	cfg := meshConfig(topo, alloc.KindSeparableIF, 2, router.PolicyBalanced)
 	cfg.InjectionRate = 0
 	cfg.MaxInjection = true
 	cfg.Seed = 1
+	cfg.Workers = workers
 	n, err := New(cfg)
 	if err != nil {
 		tb.Fatal(err)
@@ -27,15 +34,23 @@ func saturatedMesh(tb testing.TB) *Network {
 // TestSteadyStateZeroAllocs pins the headline guarantee of the memory
 // discipline work: once the scratch buffers and the flit pool have grown
 // to their high-water marks, Network.Step performs zero heap allocations
-// per cycle. The run is fully deterministic (fixed seed), so this either
-// always passes or always fails for a given code state.
+// per cycle — on the serial loop and on the sharded parallel tick alike
+// (shards store Tick's slice headers and the pool reuses parked workers,
+// so neither phase allocates). The run is fully deterministic (fixed
+// seed), so this either always passes or always fails for a given code
+// state.
 func TestSteadyStateZeroAllocs(t *testing.T) {
-	n := saturatedMesh(t)
-	n.Run(8000)
-	n.Collector().Reset()
-	avg := testing.AllocsPerRun(200, func() { n.Step() })
-	if avg != 0 {
-		t.Fatalf("Network.Step allocates %v times per cycle in steady state; want 0", avg)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			n := saturatedMeshWorkers(t, workers)
+			defer n.Close()
+			n.Run(8000)
+			n.Collector().Reset()
+			avg := testing.AllocsPerRun(200, func() { n.Step() })
+			if avg != 0 {
+				t.Fatalf("Network.Step allocates %v times per cycle in steady state; want 0", avg)
+			}
+		})
 	}
 }
 
@@ -49,5 +64,24 @@ func BenchmarkNetworkStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Step()
+	}
+}
+
+// BenchmarkNetworkStepParallel measures the sharded tick at a spread of
+// worker counts on the same workload; compare against BenchmarkNetworkStep
+// for parallel efficiency. Allocation counters must stay at 0 here too.
+func BenchmarkNetworkStepParallel(b *testing.B) {
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			n := saturatedMeshWorkers(b, workers)
+			defer n.Close()
+			n.Run(3000)
+			n.Collector().Reset()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.Step()
+			}
+		})
 	}
 }

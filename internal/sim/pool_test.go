@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolCoversIndexSpace checks that every index is executed exactly
+// once for a spread of widths and batch sizes, including batches smaller
+// than the pool and empty batches.
+func TestPoolCoversIndexSpace(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			hits := make([]int32, n)
+			p.Do(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times, want 1", workers, n, i, h)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestPoolSingleWorkerRunsInline pins the inline path: a one-worker pool
+// must execute tasks on the calling goroutine with no goroutines spawned
+// — the stack of a task includes the caller's frame, and the process
+// goroutine count does not move.
+func TestPoolSingleWorkerRunsInline(t *testing.T) {
+	p := NewPool(1)
+	before := runtime.NumGoroutine()
+	var stack string
+	p.Do(3, func(i int) {
+		if i == 0 {
+			buf := make([]byte, 1<<16)
+			stack = string(buf[:runtime.Stack(buf, false)])
+		}
+	})
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine count grew from %d to %d; one-worker Do must not spawn", before, after)
+	}
+	if !strings.Contains(stack, "TestPoolSingleWorkerRunsInline") {
+		t.Errorf("task did not run on the calling goroutine; stack:\n%s", stack)
+	}
+}
+
+// TestPoolSteadyStateZeroAllocs pins the per-batch cost the network's
+// per-cycle fan-out relies on: once workers are started, a Do with a
+// pre-built function value performs no heap allocations.
+func TestPoolSteadyStateZeroAllocs(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sink [16]int64
+	fn := func(i int) { sink[i]++ }
+	p.Do(len(sink), fn) // warm up: spawn workers
+	avg := testing.AllocsPerRun(100, func() { p.Do(len(sink), fn) })
+	if avg != 0 {
+		t.Fatalf("Do allocates %v times per batch in steady state; want 0", avg)
+	}
+}
+
+// TestPoolPanicPropagates checks that a task panic re-raises on the
+// calling goroutine with a package-prefixed message, that the remaining
+// workers drain, and that the pool stays usable afterwards.
+func TestPoolPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: Do did not re-panic", workers)
+				}
+				msg, ok := r.(string)
+				if workers > 1 && (!ok || !strings.Contains(msg, "sim: pool task panicked: boom")) {
+					t.Fatalf("workers=%d: panic value %v, want sim-prefixed wrapper", workers, r)
+				}
+			}()
+			p.Do(8, func(i int) {
+				if i == 5 {
+					panic("boom")
+				}
+			})
+		}()
+		var ran int32
+		p.Do(4, func(int) { atomic.AddInt32(&ran, 1) })
+		if ran != 4 {
+			t.Fatalf("workers=%d: pool unusable after panic: ran %d of 4", workers, ran)
+		}
+		p.Close()
+	}
+}
+
+// TestPoolCloseAndRestart checks Close is idempotent and that a later Do
+// restarts workers lazily instead of deadlocking.
+func TestPoolCloseAndRestart(t *testing.T) {
+	p := NewPool(3)
+	var count int32
+	p.Do(10, func(int) { atomic.AddInt32(&count, 1) })
+	p.Close()
+	p.Close()
+	p.Do(10, func(int) { atomic.AddInt32(&count, 1) })
+	if count != 20 {
+		t.Fatalf("ran %d tasks, want 20", count)
+	}
+	p.Close()
+}

@@ -93,6 +93,29 @@ func (c *Collector) BufferWrite()   { c.bufferWrites++ }
 func (c *Collector) XbarTraversal() { c.xbarTraversals++ }
 func (c *Collector) LinkTraversal() { c.linkTraversals++ }
 
+// Delta is a mergeable batch of activity counters. The parallel tick
+// accumulates one Delta per router shard while routers tick concurrently
+// and folds them into the collector on the stepping goroutine; integer
+// addition is associative and commutative, so the merged totals are
+// identical to the serial loop's for any worker count and any merge
+// order. Order-sensitive metrics — the latency accumulation is a float
+// sum, whose value depends on addition order — deliberately have no
+// Delta fields: they are only ever updated on the stepping goroutine.
+type Delta struct {
+	BufferReads    int64
+	BufferWrites   int64
+	XbarTraversals int64
+	LinkTraversals int64
+}
+
+// Merge folds a shard's activity delta into the collector.
+func (c *Collector) Merge(d Delta) {
+	c.bufferReads += d.BufferReads
+	c.bufferWrites += d.BufferWrites
+	c.xbarTraversals += d.XbarTraversals
+	c.linkTraversals += d.LinkTraversals
+}
+
 // Snapshot is an immutable summary of a measurement window.
 type Snapshot struct {
 	Cycles int64

@@ -163,3 +163,32 @@ func TestPercentileUnorderedInput(t *testing.T) {
 		t.Errorf("P50 of {10..90} = %d, want 50", s.P50Latency)
 	}
 }
+
+// TestMergeDeltaMatchesDirectCalls pins the contract the parallel tick
+// relies on: folding per-shard Deltas into a collector yields exactly the
+// counters direct calls would have produced, in any merge order.
+func TestMergeDeltaMatchesDirectCalls(t *testing.T) {
+	direct := NewCollector(4)
+	for i := 0; i < 3; i++ {
+		direct.BufferRead()
+		direct.XbarTraversal()
+	}
+	direct.BufferWrite()
+	direct.LinkTraversal()
+	direct.LinkTraversal()
+
+	merged := NewCollector(4)
+	deltas := []Delta{
+		{BufferReads: 1, XbarTraversals: 2, LinkTraversals: 2},
+		{BufferReads: 2, BufferWrites: 1, XbarTraversals: 1},
+	}
+	// Reverse order on purpose: integer merges are order-independent.
+	for i := len(deltas) - 1; i >= 0; i-- {
+		merged.Merge(deltas[i])
+	}
+	d, m := direct.Snapshot(), merged.Snapshot()
+	if d.BufferReads != m.BufferReads || d.BufferWrites != m.BufferWrites ||
+		d.XbarTraversals != m.XbarTraversals || d.LinkTraversals != m.LinkTraversals {
+		t.Fatalf("merged %+v, direct %+v", m, d)
+	}
+}
