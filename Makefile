@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint lint-bench race test bench bench-json profile sweep experiments examples clean
+.PHONY: all build vet lint lint-escapes lint-bench race test bench bench-json profile sweep experiments examples clean
 
 all: build vet lint test
 
@@ -10,14 +10,15 @@ build:
 vet:
 	go vet ./...
 
-# The full static-analysis gate: vet, gofmt cleanliness, and the repo's
-# own vixlint pass (determinism including transitive reach, allocator
-# contracts, scratch escape, enum exhaustiveness, hygiene — see
-# internal/lint). vixlint keeps a content-hash finding cache under
-# .vixlint/, so reruns only re-analyze packages whose hash chain
-# changed. The lint self-check test enforces the same rules under plain
-# `go test ./...`.
-lint: vet
+# The full static-analysis gate: vet, gofmt cleanliness, the repo's own
+# vixlint pass (determinism including transitive reach, allocator
+# contracts, scratch escape, enum exhaustiveness, hygiene, and the
+# parallel/* shard-ownership rules — see internal/lint), and the
+# compiler escape gate (lint-escapes). vixlint keeps a content-hash
+# finding cache under .vixlint/, so reruns only re-analyze packages
+# whose hash chain changed. The lint self-check test enforces the same
+# rules under plain `go test ./...`.
+lint: vet lint-escapes
 	@unformatted="$$(gofmt -l .)"; \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt: the following files need formatting:"; \
@@ -26,11 +27,24 @@ lint: vet
 	fi
 	go run ./cmd/vixlint -v ./...
 
+# The compiler escape gate: diff heap escapes inside //vixlint:hot call
+# cones (from `go build -gcflags=-m`, replayed from the build cache on
+# warm runs) against the committed golden at .vixlint/escapes.golden.
+# A new escape on the hot path fails with its exact file:line and the
+# compiler's reason; regenerate the golden after an audited change with
+# `go run ./cmd/vixlint -escapes -update-escapes ./...`.
+lint-escapes:
+	go run ./cmd/vixlint -escapes -v ./...
+
 # Demonstrate the incremental engine: a cold run (cache cleared) versus
-# a warm rerun, which must type-check and analyze zero packages.
+# a warm rerun, which must type-check and analyze zero packages. The
+# escape gate gets the same treatment: its warm-skip state is keyed on
+# the module content hash, the golden and the toolchain, so the warm
+# invocation must analyze nothing. Only the cache entries are cleared —
+# .vixlint/escapes.golden is a committed baseline, not cache.
 lint-bench:
 	go build -o /tmp/vixlint_bench ./cmd/vixlint
-	rm -rf .vixlint
+	rm -f .vixlint/*.json
 	@echo "== cold (empty cache)"
 	/tmp/vixlint_bench -v ./...
 	@echo "== warm (unchanged tree)"
@@ -39,6 +53,15 @@ lint-bench:
 	case "$$warm" in \
 	*" 0 analyzed"*) ;; \
 	*) echo "lint-bench: warm run re-analyzed packages; cache is broken"; exit 1 ;; \
+	esac
+	@echo "== escapes cold (no warm-skip state)"
+	/tmp/vixlint_bench -escapes -v ./...
+	@echo "== escapes warm (unchanged tree)"
+	@warm="$$(/tmp/vixlint_bench -escapes -v ./... 2>&1)"; \
+	echo "$$warm"; \
+	case "$$warm" in \
+	*" 0 analyzed"*) ;; \
+	*) echo "lint-bench: warm escape gate re-ran the compiler diff; warm-skip state is broken"; exit 1 ;; \
 	esac
 
 # Run the test suite under the race detector. Allocators and routers are

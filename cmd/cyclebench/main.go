@@ -64,13 +64,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cyclebench: ")
 	var (
-		out        = flag.String("o", "BENCH_cycle.json", "output file (\"-\" for stdout)")
-		warmup     = flag.Int("warmup", 3000, "warmup cycles (also grows pools/scratch to steady state)")
-		measure    = flag.Int("measure", 20000, "measurement cycles")
-		baseline   = flag.Float64("baseline", 0, "pre-change cycles/sec reference (0: carry over from existing output file)")
-		workers    = flag.Int("workers", -1, "parallel-tick workers for the 16x16 section (<0 GOMAXPROCS)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement window to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile taken after the measurement to this file")
+		out         = flag.String("o", "BENCH_cycle.json", "output file (\"-\" for stdout)")
+		warmup      = flag.Int("warmup", 3000, "warmup cycles (also grows pools/scratch to steady state)")
+		measure     = flag.Int("measure", 20000, "measurement cycles")
+		baseline    = flag.Float64("baseline", 0, "pre-change cycles/sec reference (0: carry over from existing output file)")
+		workers     = flag.Int("workers", -1, "parallel-tick workers for the 16x16 section (<0 GOMAXPROCS)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the measurement window to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile taken after the measurement to this file")
+		requireGate = flag.Bool("require-gate", false, "fail unless the parallel speedup gate actually applied (CI multicore job: a host too small to enforce it must not pass silently)")
 	)
 	flag.Parse()
 
@@ -90,6 +91,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer n.Close()
 	n.Run(*warmup)
 
 	if *cpuprofile != "" {
@@ -154,6 +156,10 @@ func main() {
 	if p := r.Parallel; p != nil {
 		log.Printf("parallel: %d workers on %s: %.0f -> %.0f cycles/sec (%.2fx, gate %v)",
 			p.Workers, p.Workload, p.SerialCycSec, p.ParallelCycSec, p.Speedup, p.GateEnforced)
+		if *requireGate && !p.GateEnforced {
+			log.Fatalf("-require-gate: speedup gate did not apply (%d CPUs, %d effective workers; need >= 4 of each)",
+				runtime.NumCPU(), p.Workers)
+		}
 	}
 }
 

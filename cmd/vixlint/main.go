@@ -24,6 +24,12 @@
 //	-no-cache    disable the .vixlint/ finding cache and re-analyse every
 //	             package
 //	-workers n   bound the analysis worker pool (default GOMAXPROCS)
+//	-escapes     run the compiler escape gate instead of the analyzers:
+//	             diff heap escapes inside //vixlint:hot call cones
+//	             (from `go build -gcflags=-m`) against the committed
+//	             golden at .vixlint/escapes.golden
+//	-update-escapes  with -escapes, regenerate the golden from the
+//	             current compiler output instead of diffing
 //
 // Exit status: 0 when the module is clean, 1 when findings are
 // reported, 2 when the analysis itself fails (unloadable module,
@@ -47,8 +53,10 @@ func main() {
 	verbose := flag.Bool("v", false, "print engine statistics to stderr")
 	noCache := flag.Bool("no-cache", false, "disable the .vixlint/ finding cache")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+	escapes := flag.Bool("escapes", false, "run the compiler escape gate (diff //vixlint:hot cone escapes against .vixlint/escapes.golden)")
+	updateEscapes := flag.Bool("update-escapes", false, "with -escapes, regenerate the golden from current compiler output")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: vixlint [-root dir] [-json] [-v] [-no-cache] [-workers n] [./...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vixlint [-root dir] [-json] [-v] [-no-cache] [-workers n] [-escapes [-update-escapes]] [./...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -68,19 +76,51 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	start := time.Now()
-	findings, stats, err := lint.CheckWithOptions(dir, lint.Options{
-		Workers: *workers,
-		Cache:   !*noCache,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "vixlint: %v\n", err)
+	if *updateEscapes && !*escapes {
+		fmt.Fprintf(os.Stderr, "vixlint: -update-escapes requires -escapes\n")
 		os.Exit(2)
 	}
-	if *verbose {
-		fmt.Fprintf(os.Stderr, "vixlint: %d packages, %d cached, %d analyzed, %d workers, %s\n",
-			stats.Packages, stats.Cached, stats.Analyzed, stats.Workers,
-			time.Since(start).Round(time.Millisecond))
+	start := time.Now()
+	var findings []lint.Finding
+	if *escapes {
+		var estats lint.EscapeStats
+		var err error
+		findings, estats, err = lint.CheckEscapes(dir, lint.EscapeOptions{
+			Update: *updateEscapes,
+			Cache:  !*noCache,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vixlint: %v\n", err)
+			os.Exit(2)
+		}
+		if estats.GoSkew != "" {
+			fmt.Fprintf(os.Stderr, "vixlint: escapes: %s\n", estats.GoSkew)
+		}
+		if *verbose {
+			cached := 0
+			if estats.Cached {
+				cached = 1
+			}
+			fmt.Fprintf(os.Stderr, "vixlint: escapes: %d packages, %d cached, %d analyzed, %d hot, %d cone, %d diags, %s\n",
+				estats.Packages, cached, estats.Analyzed, estats.HotFuncs, estats.ConeFuncs,
+				estats.Diags, time.Since(start).Round(time.Millisecond))
+		}
+	} else {
+		var stats lint.Stats
+		var err error
+		findings, stats, err = lint.CheckWithOptions(dir, lint.Options{
+			Workers: *workers,
+			Cache:   !*noCache,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vixlint: %v\n", err)
+			os.Exit(2)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "vixlint: %d packages, %d cached, %d analyzed, %d workers, %s\n",
+				stats.Packages, stats.Cached, stats.Analyzed, stats.Workers,
+				time.Since(start).Round(time.Millisecond))
+		}
 	}
 	if *asJSON {
 		if err := writeJSON(os.Stdout, findings); err != nil {

@@ -80,6 +80,8 @@ func (s *SeparableIF) Reset() {
 
 // Allocate implements Allocator. The returned slice is scratch, valid
 // until the next Allocate or Reset call.
+//
+//vixlint:hot
 func (s *SeparableIF) Allocate(rs *RequestSet) []Grant {
 	rows := s.rowReqs.group(rs)
 

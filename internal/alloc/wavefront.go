@@ -78,6 +78,8 @@ func (w *Wavefront) Reset() {
 
 // Allocate implements Allocator. The returned slice is scratch, valid
 // until the next Allocate or Reset call.
+//
+//vixlint:hot
 func (w *Wavefront) Allocate(rs *RequestSet) []Grant {
 	rows, outs := w.cfg.Rows(), w.cfg.Ports
 	// Reset only the cells the previous cycle populated; every other cell

@@ -22,9 +22,14 @@ import (
 // are hashed, imports are read with parser.ImportsOnly), and each
 // package gets a key chaining:
 //
-//	sha256(cacheVersion, ConcurrencyAllowlist, module path, package
-//	       path, each file's name and content hash, and the keys of
-//	       every module-local import)
+//	sha256(cacheVersion, ConcurrencyAllowlist, ShardOwnershipRoots,
+//	       module path, package path, each file's name and content
+//	       hash, and the keys of every module-local import)
+//
+// The ownership-root fingerprint is in the chain because editing the
+// root table changes which writes the parallel/* rules accept without
+// touching any source file; //vixlint:hot markers need no such entry —
+// they live in file content, so the file hashes already cover them.
 //
 // Dependency keys chain recursively, so a package's key covers its
 // transitive module dependencies: the inter-procedural passes (reach,
@@ -43,7 +48,9 @@ import (
 
 // cacheVersion invalidates every entry when the analyzers change
 // behaviour. Bump it in any commit that alters rules or messages.
-const cacheVersion = "vixlint-cache-1"
+// (-2: parallel/* write-effect rules and the ownership fingerprint
+// joined the key chain.)
+const cacheVersion = "vixlint-cache-2"
 
 // cacheDirName is the default cache directory under the module root.
 const cacheDirName = ".vixlint"
@@ -183,6 +190,7 @@ func (idx *moduleIndex) computeKeys() {
 		h := sha256.New()
 		io.WriteString(h, cacheVersion+"\n")
 		io.WriteString(h, allowlistFingerprint()+"\n")
+		io.WriteString(h, ownershipFingerprint()+"\n")
 		io.WriteString(h, idx.modPath+"\n")
 		io.WriteString(h, p.path+"\n")
 		for _, name := range p.fileNames {

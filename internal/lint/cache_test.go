@@ -3,6 +3,7 @@ package lint_test
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"vix/internal/lint"
@@ -185,5 +186,59 @@ func TestCacheCustomDirAndWorkers(t *testing.T) {
 	}
 	if stats.Analyzed != 0 {
 		t.Errorf("warm run with custom dir analyzed %d packages, want 0", stats.Analyzed)
+	}
+}
+
+// TestCacheHotMarkerEditInvalidates: a //vixlint:hot marker is plain
+// file content, so adding one re-keys exactly the package it touches —
+// the escape gate's warm-skip state chains the same package keys, so
+// markers reach it through file hashes without a separate fingerprint.
+func TestCacheHotMarkerEditInvalidates(t *testing.T) {
+	root := writeTree(t, cachedModule())
+	opts := lint.Options{Cache: true}
+	if _, _, err := lint.CheckWithOptions(root, opts); err != nil {
+		t.Fatal(err)
+	}
+	aFile := filepath.Join(root, "internal", "a", "a.go")
+	src, err := os.ReadFile(aFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := strings.Replace(string(src), "var V = 1", "//vixlint:hot\nvar V = 1", 1)
+	if marked == string(src) {
+		t.Fatal("marker splice found nothing to replace")
+	}
+	if err := os.WriteFile(aFile, []byte(marked), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := lint.CheckWithOptions(root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a changed, and c chains a's key; standalone b must stay cached.
+	if stats.Analyzed != 2 || stats.Cached != stats.Packages-2 {
+		t.Errorf("after hot-marker edit: stats = %+v; want a and c analyzed, b cached", stats)
+	}
+}
+
+// TestCacheOwnershipRootsInvalidate: editing ShardOwnershipRoots
+// changes parallel/* verdicts without touching any source file; the
+// ownership fingerprint in the key chain must flush every entry.
+func TestCacheOwnershipRootsInvalidate(t *testing.T) {
+	root := writeTree(t, cachedModule())
+	opts := lint.Options{Cache: true}
+	if _, _, err := lint.CheckWithOptions(root, opts); err != nil {
+		t.Fatal(err)
+	}
+	lint.ShardOwnershipRoots["internal/zz"] = []lint.OwnershipRoot{
+		{Root: "captured zz", Why: "cache-test entry"},
+	}
+	defer delete(lint.ShardOwnershipRoots, "internal/zz")
+	_, stats, err := lint.CheckWithOptions(root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cached != 0 || stats.Analyzed != stats.Packages {
+		t.Errorf("after ownership-root edit: stats = %+v; want every entry flushed", stats)
 	}
 }

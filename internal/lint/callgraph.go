@@ -34,7 +34,10 @@ import (
 // Method values (`x.M` referenced without calling) are not treated as
 // address-taken: resolving them requires binding a receiver, and no
 // simulation code passes bound methods across packages. The limitation
-// is documented in DESIGN.md section 11.
+// is documented in DESIGN.md section 11. The shard-ownership pass
+// (shardown.go) keeps its own method-value collection for resolving
+// sim.Pool job values — that set never feeds general graph edges, so
+// taint semantics are unchanged.
 
 // cgNode is one function or method declaration in the call graph.
 type cgNode struct {
@@ -56,6 +59,14 @@ type callGraph struct {
 	nodes map[*types.Func]*cgNode
 	// callers is the reverse adjacency, built after all edges resolve.
 	callers map[*types.Func][]*types.Func
+	// taken and resolver are retained after construction so later passes
+	// (write effects, shard ownership) resolve call sites with exactly
+	// the same strategy resolveEdges used.
+	taken    []*types.Func
+	resolver *ifaceResolver
+	// mvRefs is the lazy method-value collection behind methodValues.
+	mvRefs      []methodValueRef
+	mvCollected bool
 }
 
 // buildCallGraph constructs the graph for every package of mod.
@@ -81,10 +92,10 @@ func buildCallGraph(mod *Module) *callGraph {
 			}
 		}
 	}
-	taken := g.addressTaken()
-	resolver := &ifaceResolver{graph: g, cache: make(map[*types.Func][]*types.Func)}
+	g.taken = g.addressTaken()
+	g.resolver = &ifaceResolver{graph: g, cache: make(map[*types.Func][]*types.Func)}
 	for _, fn := range g.funcs {
-		g.resolveEdges(g.nodes[fn], taken, resolver)
+		g.resolveEdges(g.nodes[fn])
 	}
 	for _, fn := range g.funcs {
 		for _, callee := range g.nodes[fn].callees {
@@ -172,80 +183,118 @@ func stripParens(e ast.Expr) ast.Expr {
 	}
 }
 
-// resolveEdges walks node's body (including function literals) and
-// records every resolvable callee.
-func (g *callGraph) resolveEdges(node *cgNode, taken []*types.Func, resolver *ifaceResolver) {
-	pkg := node.pkg
+// resolvedCall is the outcome of resolving one call expression: the
+// module-internal targets it may reach, the receiver expression when the
+// call is a method call on a value (nil otherwise), and whether the
+// targets came from an indirect (func-value or interface) dispatch —
+// indirect targets have no usable receiver/argument binding for effect
+// mapping, only for graph edges.
+type resolvedCall struct {
+	targets  []*types.Func
+	recv     ast.Expr
+	indirect bool
+}
+
+// resolveCallSite resolves one call expression in pkg with the same
+// strategy resolveEdges documents at the top of this file. It is shared
+// by edge construction and the write-effect pass so both see identical
+// dispatch.
+func (g *callGraph) resolveCallSite(pkg *Package, call *ast.CallExpr) resolvedCall {
+	var rc resolvedCall
 	add := func(fn *types.Func) {
 		if fn != nil && g.nodes[fn] != nil {
-			node.callees = append(node.callees, fn)
+			rc.targets = append(rc.targets, fn)
 		}
 	}
+	fun := stripParens(call.Fun)
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[fun].(type) {
+		case *types.Func:
+			add(obj)
+		case *types.Var:
+			rc.indirect = true
+			for _, fn := range g.indirectTargets(obj.Type()) {
+				add(fn)
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			// Method call or func-typed field call on a value.
+			switch sel.Kind() {
+			case types.MethodVal:
+				m := sel.Obj().(*types.Func)
+				if types.IsInterface(sel.Recv()) {
+					rc.recv = fun.X
+					for _, impl := range g.resolver.implementations(sel.Recv(), m) {
+						add(impl)
+					}
+				} else {
+					rc.recv = fun.X
+					add(m)
+				}
+			case types.FieldVal:
+				rc.indirect = true
+				if v, ok := sel.Obj().(*types.Var); ok {
+					for _, fn := range g.indirectTargets(v.Type()) {
+						add(fn)
+					}
+				}
+			}
+		} else {
+			// Qualified reference: pkg.F or pkg.Var.
+			switch obj := pkg.Info.Uses[fun.Sel].(type) {
+			case *types.Func:
+				add(obj)
+			case *types.Var:
+				rc.indirect = true
+				for _, fn := range g.indirectTargets(obj.Type()) {
+					add(fn)
+				}
+			}
+		}
+	default:
+		// Call of a call result or other computed func value.
+		rc.indirect = true
+		if tv, ok := pkg.Info.Types[fun]; ok && tv.Type != nil {
+			for _, fn := range g.indirectTargets(tv.Type) {
+				add(fn)
+			}
+		}
+	}
+	return rc
+}
+
+// resolveEdges walks node's body (including function literals) and
+// records every resolvable callee.
+func (g *callGraph) resolveEdges(node *cgNode) {
 	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		fun := stripParens(call.Fun)
-		switch fun := fun.(type) {
-		case *ast.Ident:
-			switch obj := pkg.Info.Uses[fun].(type) {
-			case *types.Func:
-				add(obj)
-			case *types.Var:
-				g.addIndirect(node, obj.Type(), taken)
-			}
-		case *ast.SelectorExpr:
-			if sel, ok := pkg.Info.Selections[fun]; ok {
-				// Method call or func-typed field call on a value.
-				switch sel.Kind() {
-				case types.MethodVal:
-					m := sel.Obj().(*types.Func)
-					if types.IsInterface(sel.Recv()) {
-						for _, impl := range resolver.implementations(sel.Recv(), m) {
-							add(impl)
-						}
-					} else {
-						add(m)
-					}
-				case types.FieldVal:
-					if v, ok := sel.Obj().(*types.Var); ok {
-						g.addIndirect(node, v.Type(), taken)
-					}
-				}
-			} else {
-				// Qualified reference: pkg.F or pkg.Var.
-				switch obj := pkg.Info.Uses[fun.Sel].(type) {
-				case *types.Func:
-					add(obj)
-				case *types.Var:
-					g.addIndirect(node, obj.Type(), taken)
-				}
-			}
-		default:
-			// Call of a call result or other computed func value.
-			if tv, ok := pkg.Info.Types[fun]; ok && tv.Type != nil {
-				g.addIndirect(node, tv.Type, taken)
-			}
-		}
+		rc := g.resolveCallSite(node.pkg, call)
+		node.callees = append(node.callees, rc.targets...)
 		return true
 	})
 	node.callees = dedupeFuncs(node.callees)
 }
 
-// addIndirect records edges for an indirect call through a value of
-// func type typ: every address-taken module function with an identical
-// signature is a possible target.
-func (g *callGraph) addIndirect(node *cgNode, typ types.Type, taken []*types.Func) {
+// indirectTargets returns the possible targets of an indirect call
+// through a value of func type typ: every address-taken module function
+// with an identical signature.
+func (g *callGraph) indirectTargets(typ types.Type) []*types.Func {
 	sig, ok := typ.Underlying().(*types.Signature)
 	if !ok {
-		return
+		return nil
 	}
-	for _, fn := range taken {
+	var out []*types.Func
+	for _, fn := range g.taken {
 		if types.Identical(fn.Type(), sig) {
-			node.callees = append(node.callees, fn)
+			out = append(out, fn)
 		}
 	}
+	return out
 }
 
 // dedupeFuncs removes duplicates and sorts by declaration position for
@@ -359,6 +408,61 @@ func funcDisplay(fn *types.Func) string {
 		return pkgName + "(" + ptr + recvName + ")." + name
 	}
 	return pkgName + recvName + "." + name
+}
+
+// methodValueRef is one method referenced as a bound method value
+// (`x.M` outside callee position) somewhere in the module, with the
+// receiver-stripped signature the value carries.
+type methodValueRef struct {
+	fn  *types.Func
+	sig *types.Signature
+}
+
+// methodValues lazily collects every bound-method-value reference in the
+// module. The general call graph deliberately excludes these (see the
+// package comment); the shard-ownership pass uses them only to resolve
+// the job value handed to sim.Pool.Do, where the zero-alloc idiom stores
+// a method value in a field once and passes it every cycle.
+func (g *callGraph) methodValues() []methodValueRef {
+	if g.mvCollected {
+		return g.mvRefs
+	}
+	g.mvCollected = true
+	for _, pkg := range g.mod.Packages() {
+		for _, file := range pkg.Files {
+			callees := make(map[ast.Expr]bool)
+			ast.Inspect(file, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					callees[stripParens(call.Fun)] = true
+				}
+				return true
+			})
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || callees[ast.Expr(sel)] {
+					return true
+				}
+				s, ok := pkg.Info.Selections[sel]
+				if !ok || s.Kind() != types.MethodVal {
+					return true
+				}
+				tv, ok := pkg.Info.Types[sel]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				sig, ok := tv.Type.Underlying().(*types.Signature)
+				if !ok {
+					return true
+				}
+				if fn, ok := s.Obj().(*types.Func); ok && g.nodes[fn] != nil {
+					g.mvRefs = append(g.mvRefs, methodValueRef{fn: fn, sig: sig})
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(g.mvRefs, func(i, j int) bool { return g.mvRefs[i].fn.Pos() < g.mvRefs[j].fn.Pos() })
+	return g.mvRefs
 }
 
 // lookupFunc finds the node for the function or method named name (plain

@@ -78,6 +78,7 @@ func TestCorpus(t *testing.T) {
 	for _, rule := range []string{
 		"determinism/reach", "escape/store", "escape/retain",
 		"exhaustive/switch", "waiver/stale",
+		"parallel/sharedwrite", "parallel/phase", "hygiene/close",
 	} {
 		if !seenRules[rule] {
 			t.Errorf("no corpus fixture triggers %s; every inter-procedural rule needs a failing fixture", rule)

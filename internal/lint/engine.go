@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"vix/internal/sim"
 )
 
 // This file is the analysis engine: module-wide state construction, the
@@ -32,7 +34,12 @@ type Analysis struct {
 	mod      *Module
 	graph    *callGraph
 	taint    *taintResult
+	writes   *writeAnalysis
 	checkers map[string]*checker
+	// shardFindings holds the parallel/sharedwrite and parallel/phase
+	// findings keyed by the Do-site package, computed in the source
+	// phase (the pass spans packages and marks waiver usage).
+	shardFindings map[string][]Finding
 }
 
 // NewAnalysis runs the single-threaded source phase over mod: direct
@@ -56,6 +63,8 @@ func NewAnalysis(mod *Module) *Analysis {
 	}
 	a.graph = buildCallGraph(mod)
 	a.taint = propagateTaint(a.graph, sources)
+	a.writes = computeWriteEffects(mod, a.graph)
+	a.shardFindings = analyzeShardOwnership(a)
 	return a
 }
 
@@ -73,6 +82,9 @@ func (a *Analysis) checkPackage(path string) []Finding {
 		fs = append(fs, c.reach(a)...)
 		fs = append(fs, c.exhaustive()...)
 	}
+	if isCmdPath(c.pkg.Path) {
+		fs = append(fs, c.closeHygiene()...)
+	}
 	if isAllocPackage(c.pkg) {
 		fs = append(fs, c.contracts()...)
 		fs = append(fs, c.scratch()...)
@@ -83,6 +95,7 @@ func (a *Analysis) checkPackage(path string) []Finding {
 		fs = append(fs, c.escape()...)
 	}
 	fs = append(fs, c.mutations()...)
+	fs = append(fs, a.shardFindings[path]...)
 	// Last: every waiver-consulting pass for this package has run, so
 	// usage tracking for the stale-waiver sweep is complete.
 	fs = append(fs, c.waiverFindings()...)
@@ -134,6 +147,39 @@ func (a *Analysis) Callees(pkgPath, name string) []string {
 	for _, callee := range node.callees {
 		out = append(out, funcDisplay(callee))
 	}
+	return out
+}
+
+// PoolJobs returns the display names of every sim.Pool job the shard-
+// ownership pass resolved, sorted. It exists for tests that pin job
+// detection on the real tree (the method-value shardFn and the harness
+// job literal must both resolve).
+func (a *Analysis) PoolJobs() []string {
+	var out []string
+	for _, job := range findPoolJobs(a) {
+		out = append(out, job.display())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FuncWrites returns the rendered write effects of the named function
+// ("F" or "Recv.M") in pkgPath, sorted. It exists for tests that pin
+// the write-effect summaries the parallel rules judge.
+func (a *Analysis) FuncWrites(pkgPath, name string) []string {
+	node := a.graph.lookupFunc(pkgPath, name)
+	if node == nil {
+		return nil
+	}
+	fx := a.writes.sums[node.fn]
+	if fx == nil {
+		return nil
+	}
+	var out []string
+	for _, k := range sim.SortedKeys(fx.writes) {
+		out = append(out, effectDisplay(node.fn, fx.writes[k]))
+	}
+	sort.Strings(out)
 	return out
 }
 

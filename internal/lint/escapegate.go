@@ -1,0 +1,539 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vix/internal/sim"
+)
+
+// This file implements the compiler escape gate behind `vixlint
+// -escapes`. The zero-allocation cycle loop (DESIGN.md section 12)
+// depends on the compiler keeping hot-path values on the stack; a
+// refactor that makes a scratch slice or closure escape re-introduces
+// per-cycle garbage without failing any test. The gate makes that
+// regression loud:
+//
+//  1. Function declarations on the hot path carry a "//vixlint:hot"
+//     marker (Network.Step, the shard job, Router.Tick, every
+//     Allocate implementation). The gate expands each marked function
+//     into its forward call-graph cone, so a helper extracted out of
+//     Tick is covered without moving the marker.
+//  2. `go build -gcflags=-m ./...` is run and its diagnostics parsed;
+//     "escapes to heap" / "moved to heap" lines landing inside a
+//     hot-cone function body are collected as (function, message)
+//     entries with occurrence counts. Go replays -m diagnostics from
+//     the build cache, so warm runs cost a cache probe, not a build.
+//  3. The entries are diffed against the committed golden at
+//     .vixlint/escapes.golden: a new or multiplied escape fails the
+//     run with rule escape/new at the exact file:line and compiler
+//     reason; an entry that no longer occurs fails with escape/gone so
+//     the golden cannot rot. `vixlint -escapes -update-escapes`
+//     regenerates the golden after a human audits the change.
+//
+// The golden records the go toolchain's major.minor version; escape
+// analysis verdicts shift between releases, so under a different
+// toolchain the diff is skipped (reported in EscapeStats.GoSkew)
+// rather than failing on compiler drift nobody caused. Like the
+// finding cache, the gate keys a warm-skip state file on the module
+// content (every package's chained hash), the golden bytes and the
+// toolchain version, so `make lint-bench`'s warm invocation analyzes
+// nothing.
+
+// hotDirective marks a function declaration whose forward call cone
+// the escape gate watches. It sits in the declaration's doc comment or
+// on the line immediately above it.
+const hotDirective = "//vixlint:hot"
+
+// escapeGoldenName is the committed golden file under .vixlint/.
+const escapeGoldenName = "escapes.golden"
+
+// escapeStateName is the warm-skip state file under the cache dir.
+const escapeStateName = "escapes-state.json"
+
+// escapeCacheVersion invalidates the warm-skip state when the gate's
+// parsing or diffing changes behaviour.
+const escapeCacheVersion = "vixlint-escapes-1"
+
+// EscapeOptions configures CheckEscapes.
+type EscapeOptions struct {
+	// Update regenerates the golden from the current compiler output
+	// instead of diffing against it.
+	Update bool
+	// Cache enables the warm-skip state keyed on module content, golden
+	// bytes and toolchain version.
+	Cache bool
+	// CacheDir overrides the state location; default <root>/.vixlint.
+	CacheDir string
+}
+
+// EscapeStats reports how much work a CheckEscapes call performed.
+type EscapeStats struct {
+	// Packages is the number of module packages discovered.
+	Packages int
+	// Analyzed is 1 when the compiler was consulted and the diff ran,
+	// 0 on a warm-skip hit (the module is never built or type-checked).
+	Analyzed int
+	// HotFuncs is the number of //vixlint:hot-marked declarations.
+	HotFuncs int
+	// ConeFuncs is the size of the expanded hot cone (markers plus
+	// everything they transitively call inside the module).
+	ConeFuncs int
+	// Diags is how many escape diagnostics landed inside the hot cone.
+	Diags int
+	// Cached reports a warm-skip hit.
+	Cached bool
+	// GoSkew is non-empty when the golden was recorded under a
+	// different toolchain major.minor and the diff was skipped.
+	GoSkew string
+}
+
+// CheckEscapes runs the compiler escape gate over the module at root.
+func CheckEscapes(root string, opts EscapeOptions) ([]Finding, EscapeStats, error) {
+	var stats EscapeStats
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, stats, err
+	}
+	cacheDir := opts.CacheDir
+	if cacheDir == "" {
+		cacheDir = filepath.Join(absRoot, cacheDirName)
+	}
+	goldenPath := filepath.Join(absRoot, cacheDirName, escapeGoldenName)
+	goldenBytes, goldenErr := os.ReadFile(goldenPath)
+
+	idx, err := indexModule(absRoot)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Packages = len(idx.packages)
+	stateKey := escapeStateKey(idx, goldenBytes)
+	if opts.Cache && !opts.Update {
+		if st, ok := loadEscapeState(cacheDir, stateKey); ok {
+			stats.Cached = true
+			stats.GoSkew = st.GoSkew
+			return st.resolve(absRoot), stats, nil
+		}
+	}
+	stats.Analyzed = 1
+
+	if goldenErr != nil && !opts.Update {
+		fs := []Finding{{
+			Pos:  token.Position{Filename: goldenPath, Line: 1},
+			Rule: "escape/golden",
+			Msg:  "no committed escape golden; run `vixlint -escapes -update-escapes` and commit " + filepath.Join(cacheDirName, escapeGoldenName),
+		}}
+		return fs, stats, nil
+	}
+
+	mod, err := Load(absRoot)
+	if err != nil {
+		return nil, stats, err
+	}
+	graph := buildCallGraph(mod)
+	hot, markerFindings := collectHotFuncs(mod, graph)
+	stats.HotFuncs = len(hot)
+	cone := hotCone(graph, hot)
+	stats.ConeFuncs = len(cone)
+	spans := coneSpans(mod, graph, cone)
+
+	diags, err := buildEscapeDiags(absRoot)
+	if err != nil {
+		return nil, stats, err
+	}
+	live := make(map[string]int)
+	firstPos := make(map[string]token.Position)
+	for _, d := range diags {
+		fn := spans.enclosing(d.pos.Filename, d.pos.Line)
+		if fn == nil {
+			continue
+		}
+		stats.Diags++
+		k := funcDisplay(fn) + "\t" + d.msg
+		if live[k] == 0 {
+			firstPos[k] = d.pos
+		}
+		live[k]++
+	}
+
+	fs := append([]Finding(nil), markerFindings...)
+	if opts.Update {
+		if err := writeEscapeGolden(goldenPath, live); err != nil {
+			return nil, stats, err
+		}
+		goldenBytes, _ = os.ReadFile(goldenPath)
+		stateKey = escapeStateKey(idx, goldenBytes)
+	} else {
+		golden, err := parseEscapeGolden(goldenPath, goldenBytes)
+		if err != nil {
+			return nil, stats, err
+		}
+		if golden.goVersion != goMinorVersion() {
+			stats.GoSkew = fmt.Sprintf("golden recorded under %s, running %s; escape diff skipped",
+				golden.goVersion, goMinorVersion())
+		} else {
+			fs = append(fs, diffEscapes(goldenPath, golden, live, firstPos)...)
+		}
+	}
+	sortFindings(fs)
+	if opts.Cache {
+		storeEscapeState(cacheDir, absRoot, stateKey, stats.GoSkew, fs)
+	}
+	return fs, stats, nil
+}
+
+// goMinorVersion reduces the running toolchain version to major.minor
+// ("go1.24"), the granularity at which escape-analysis verdicts drift.
+func goMinorVersion() string {
+	v := runtime.Version()
+	if !strings.HasPrefix(v, "go") {
+		return v // development toolchain; recorded verbatim
+	}
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) < 2 {
+		return v
+	}
+	return parts[0] + "." + parts[1]
+}
+
+// collectHotFuncs finds every //vixlint:hot-marked declaration. A
+// marker that fails to attach to a function is reported (rule
+// escape/marker) rather than silently watching nothing.
+func collectHotFuncs(mod *Module, g *callGraph) ([]*types.Func, []Finding) {
+	type marker struct {
+		pos  token.Position
+		used bool
+	}
+	byFile := make(map[string][]*marker)
+	for _, pkg := range mod.Packages() {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, cm := range cg.List {
+					if !strings.HasPrefix(cm.Text, hotDirective) {
+						continue
+					}
+					p := mod.Fset.Position(cm.Pos())
+					byFile[p.Filename] = append(byFile[p.Filename], &marker{pos: p})
+				}
+			}
+		}
+	}
+	var hot []*types.Func
+	for _, fn := range g.funcs {
+		node := g.nodes[fn]
+		decl := node.decl
+		start := mod.Fset.Position(decl.Pos())
+		lo, hi := start.Line-1, start.Line-1
+		if decl.Doc != nil {
+			lo = mod.Fset.Position(decl.Doc.Pos()).Line
+		}
+		for _, m := range byFile[start.Filename] {
+			if m.pos.Line >= lo && m.pos.Line <= hi {
+				m.used = true
+				hot = append(hot, fn)
+			}
+		}
+	}
+	var fs []Finding
+	for _, file := range sim.SortedKeys(byFile) {
+		for _, m := range byFile[file] {
+			if !m.used {
+				fs = append(fs, Finding{
+					Pos:  m.pos,
+					Rule: "escape/marker",
+					Msg:  "vixlint:hot marker is not attached to a function declaration (put it in the doc comment or directly above the func line)",
+				})
+			}
+		}
+	}
+	return hot, fs
+}
+
+// hotCone expands the marked functions into their forward call cone:
+// everything a hot function can transitively call inside the module is
+// hot too, so extracting a helper never silently leaves the gate.
+func hotCone(g *callGraph, hot []*types.Func) map[*types.Func]bool {
+	cone := make(map[*types.Func]bool)
+	queue := append([]*types.Func(nil), hot...)
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if cone[fn] {
+			continue
+		}
+		cone[fn] = true
+		if node := g.nodes[fn]; node != nil {
+			queue = append(queue, node.callees...)
+		}
+	}
+	return cone
+}
+
+// fnSpan is one cone function's body line range in its file.
+type fnSpan struct {
+	start, end int
+	fn         *types.Func
+}
+
+// fnSpans indexes cone functions by file for diagnostic attribution.
+type fnSpans map[string][]fnSpan
+
+// coneSpans builds the file -> body-range index for the cone.
+func coneSpans(mod *Module, g *callGraph, cone map[*types.Func]bool) fnSpans {
+	spans := make(fnSpans)
+	for _, fn := range g.funcs {
+		if !cone[fn] {
+			continue
+		}
+		decl := g.nodes[fn].decl
+		start := mod.Fset.Position(decl.Pos())
+		end := mod.Fset.Position(decl.End())
+		spans[start.Filename] = append(spans[start.Filename], fnSpan{start.Line, end.Line, fn})
+	}
+	for _, ss := range spans {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].start < ss[j].start })
+	}
+	return spans
+}
+
+// enclosing returns the cone function whose body contains file:line,
+// or nil. Nested func literals belong to their enclosing declaration,
+// matching how the write-effect pass folds literals into their decl.
+func (s fnSpans) enclosing(file string, line int) *types.Func {
+	var best *types.Func
+	for _, sp := range s[file] {
+		if sp.start <= line && line <= sp.end {
+			best = sp.fn // innermost declaration wins; decls never nest, so last match is it
+		}
+		if sp.start > line {
+			break
+		}
+	}
+	return best
+}
+
+// escapeDiag is one parsed compiler diagnostic.
+type escapeDiag struct {
+	pos token.Position
+	msg string
+}
+
+// buildEscapeDiags runs `go build -gcflags=-m ./...` at root and
+// returns the heap-escape diagnostics. The build writes diagnostics to
+// stderr and exits 0; a non-zero exit means the module does not
+// compile, which is a hard error, not a finding.
+func buildEscapeDiags(root string) ([]escapeDiag, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		tail := string(out)
+		if len(tail) > 2048 {
+			tail = tail[len(tail)-2048:]
+		}
+		return nil, fmt.Errorf("lint: go build -gcflags=-m failed: %v\n%s", err, tail)
+	}
+	var diags []escapeDiag
+	for _, line := range strings.Split(string(out), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		msgIdx := strings.Index(line, ": ")
+		if msgIdx < 0 {
+			continue
+		}
+		msg := line[msgIdx+2:]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		parts := strings.SplitN(line[:msgIdx], ":", 3)
+		if len(parts) < 2 {
+			continue
+		}
+		ln, err1 := strconv.Atoi(parts[1])
+		col := 0
+		if len(parts) == 3 {
+			col, _ = strconv.Atoi(parts[2])
+		}
+		if err1 != nil {
+			continue
+		}
+		file := parts[0]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, filepath.FromSlash(file))
+		}
+		diags = append(diags, escapeDiag{
+			pos: token.Position{Filename: file, Line: ln, Column: col},
+			msg: msg,
+		})
+	}
+	return diags, nil
+}
+
+// escapeGolden is the parsed committed golden.
+type escapeGolden struct {
+	goVersion string
+	counts    map[string]int // "funcDisplay\tmsg" -> occurrence count
+	lineOf    map[string]int // entry -> golden file line, for gone reports
+}
+
+// parseEscapeGolden reads the golden format: '#' comments, one
+// "go <major.minor>" header, then "count<TAB>function<TAB>message"
+// lines.
+func parseEscapeGolden(path string, data []byte) (*escapeGolden, error) {
+	g := &escapeGolden{counts: make(map[string]int), lineOf: make(map[string]int)}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "go "); ok {
+			g.goVersion = strings.TrimSpace(v)
+			continue
+		}
+		fields := strings.SplitN(line, "\t", 3)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("lint: %s:%d: malformed golden line %q", path, i+1, line)
+		}
+		n, err := strconv.Atoi(fields[0])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("lint: %s:%d: bad escape count %q", path, i+1, fields[0])
+		}
+		key := fields[1] + "\t" + fields[2]
+		g.counts[key] = n
+		g.lineOf[key] = i + 1
+	}
+	if g.goVersion == "" {
+		return nil, fmt.Errorf("lint: %s: golden is missing its `go <version>` header", path)
+	}
+	return g, nil
+}
+
+// writeEscapeGolden renders and writes the golden for the current
+// compiler output.
+func writeEscapeGolden(path string, live map[string]int) error {
+	var b strings.Builder
+	b.WriteString("# vixlint escape-gate golden: heap escapes inside //vixlint:hot call cones.\n")
+	b.WriteString("# Each line is count<TAB>function<TAB>compiler message. Audit any diff, then\n")
+	b.WriteString("# regenerate with `vixlint -escapes -update-escapes`.\n")
+	b.WriteString("go " + goMinorVersion() + "\n")
+	for _, k := range sim.SortedKeys(live) {
+		fmt.Fprintf(&b, "%d\t%s\n", live[k], k)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// diffEscapes compares live compiler output against the golden.
+func diffEscapes(goldenPath string, golden *escapeGolden, live map[string]int, firstPos map[string]token.Position) []Finding {
+	var fs []Finding
+	for _, k := range sim.SortedKeys(live) {
+		if live[k] <= golden.counts[k] {
+			continue
+		}
+		fn, msg, _ := strings.Cut(k, "\t")
+		detail := fmt.Sprintf("%d now vs %d in golden", live[k], golden.counts[k])
+		fs = append(fs, Finding{
+			Pos:  firstPos[k],
+			Rule: "escape/new",
+			Msg: fmt.Sprintf("new heap escape on the hot path: %s: %s (%s); the zero-alloc cycle loop depends on this staying on the stack — fix it or audit and regenerate the golden with -update-escapes",
+				fn, msg, detail),
+		})
+	}
+	for _, k := range sim.SortedKeys(golden.counts) {
+		if live[k] >= golden.counts[k] {
+			continue
+		}
+		fn, msg, _ := strings.Cut(k, "\t")
+		fs = append(fs, Finding{
+			Pos:  token.Position{Filename: goldenPath, Line: golden.lineOf[k]},
+			Rule: "escape/gone",
+			Msg: fmt.Sprintf("golden records a hot-path escape that no longer occurs: %s: %s (%d in golden, %d now); regenerate with -update-escapes so the baseline cannot rot",
+				fn, msg, golden.counts[k], live[k]),
+		})
+	}
+	return fs
+}
+
+// escapeState is the stored warm-skip state.
+type escapeState struct {
+	Key      string          `json:"key"`
+	GoSkew   string          `json:"go_skew,omitempty"`
+	Findings []cachedFinding `json:"findings"`
+}
+
+// resolve converts stored findings back to absolute positions.
+func (st *escapeState) resolve(root string) []Finding {
+	e := cacheEntry{Findings: st.Findings}
+	return e.resolve(root)
+}
+
+// escapeStateKey chains everything the gate's verdict depends on: the
+// gate version, the toolchain, the golden bytes, and every package's
+// content-hash key (which already covers hot markers, since markers
+// live in file content).
+func escapeStateKey(idx *moduleIndex, golden []byte) string {
+	h := sha256.New()
+	io.WriteString(h, escapeCacheVersion+"\n")
+	io.WriteString(h, goMinorVersion()+"\n")
+	gsum := sha256.Sum256(golden)
+	io.WriteString(h, hex.EncodeToString(gsum[:])+"\n")
+	for _, p := range idx.packages {
+		fmt.Fprintf(h, "%s %s\n", p.path, p.key)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// loadEscapeState returns the stored state if its key matches.
+func loadEscapeState(dir, key string) (*escapeState, bool) {
+	data, err := os.ReadFile(filepath.Join(dir, escapeStateName))
+	if err != nil {
+		return nil, false
+	}
+	var st escapeState
+	if json.Unmarshal(data, &st) != nil || st.Key != key {
+		return nil, false
+	}
+	return &st, true
+}
+
+// storeEscapeState writes the warm-skip state. Like the finding cache,
+// failures are ignored: a read-only checkout must not fail the gate.
+func storeEscapeState(dir, root, key, goSkew string, fs []Finding) {
+	st := escapeState{Key: key, GoSkew: goSkew, Findings: []cachedFinding{}}
+	for _, f := range fs {
+		name := f.Pos.Filename
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = filepath.ToSlash(rel)
+		}
+		st.Findings = append(st.Findings, cachedFinding{
+			File:   name,
+			Line:   f.Pos.Line,
+			Column: f.Pos.Column,
+			Rule:   f.Rule,
+			Msg:    f.Msg,
+		})
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.MarshalIndent(&st, "", "\t")
+	if err != nil {
+		return
+	}
+	os.WriteFile(filepath.Join(dir, escapeStateName), data, 0o644)
+}

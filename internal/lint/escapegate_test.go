@@ -1,0 +1,192 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vix/internal/lint"
+)
+
+// escapeModule is a one-package module with a marked hot function whose
+// unmarked helper leaks a slice to a package global — the escape must
+// be attributed through cone expansion, not the marker's own body.
+func escapeModule() map[string]string {
+	return map[string]string{
+		"go.mod": "module fix\n\ngo 1.22\n",
+		"hot/hot.go": `package hot
+
+// Sink keeps helper's slice alive so the compiler must heap-allocate.
+var Sink []int
+
+//vixlint:hot
+func Work(n int) int {
+	return len(helper(n))
+}
+
+// helper is in Work's cone without a marker of its own.
+func helper(n int) []int {
+	s := make([]int, n)
+	Sink = s
+	return s
+}
+`,
+	}
+}
+
+// checkEscapes is the test harness around lint.CheckEscapes.
+func checkEscapes(t *testing.T, root string, opts lint.EscapeOptions) ([]lint.Finding, lint.EscapeStats) {
+	t.Helper()
+	fs, stats, err := lint.CheckEscapes(root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, stats
+}
+
+// TestEscapeGateLifecycle walks the gate through its whole protocol:
+// missing golden fails, -update-escapes records the baseline through
+// cone expansion, the warm-skip state makes reruns free, and a fresh
+// escape in the hot cone fails with escape/new at its exact line.
+func TestEscapeGateLifecycle(t *testing.T) {
+	root := writeTree(t, escapeModule())
+	opts := lint.EscapeOptions{Cache: true}
+
+	// No committed golden: the gate must fail, not silently pass.
+	fs, _ := checkEscapes(t, root, opts)
+	if len(fs) != 1 || fs[0].Rule != "escape/golden" {
+		t.Fatalf("without golden: findings = %v; want exactly one escape/golden", renderAll(fs))
+	}
+
+	// Record the baseline.
+	fs, stats := checkEscapes(t, root, lint.EscapeOptions{Update: true, Cache: true})
+	if len(fs) != 0 {
+		t.Fatalf("update run reported findings: %v", renderAll(fs))
+	}
+	if stats.HotFuncs != 1 || stats.ConeFuncs < 2 {
+		t.Errorf("stats = %+v; want 1 hot func and a cone that includes helper", stats)
+	}
+	if stats.Diags == 0 {
+		t.Errorf("stats = %+v; want the helper escape attributed to the cone", stats)
+	}
+	golden, err := os.ReadFile(filepath.Join(root, ".vixlint", "escapes.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(golden), "hot.helper") {
+		t.Errorf("golden does not attribute the escape to the unmarked cone member:\n%s", golden)
+	}
+
+	// Clean diff, then a warm skip that never builds or type-checks.
+	fs, stats = checkEscapes(t, root, opts)
+	if len(fs) != 0 {
+		t.Fatalf("clean module reported findings: %v", renderAll(fs))
+	}
+	fs, stats = checkEscapes(t, root, opts)
+	if len(fs) != 0 || !stats.Cached || stats.Analyzed != 0 {
+		t.Errorf("warm run: findings = %v, stats = %+v; want cached skip with 0 analyzed", renderAll(fs), stats)
+	}
+
+	// A new escape in the marked function itself must fail the gate.
+	hotFile := filepath.Join(root, "hot", "hot.go")
+	src, err := os.ReadFile(hotFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaky := strings.Replace(string(src), "return len(helper(n))",
+		"Sink = make([]int, n+1)\n\treturn len(helper(n))", 1)
+	if leaky == string(src) {
+		t.Fatal("escape splice found nothing to replace")
+	}
+	if err := os.WriteFile(hotFile, []byte(leaky), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, stats = checkEscapes(t, root, opts)
+	if stats.Cached {
+		t.Errorf("edited module still served from warm-skip state")
+	}
+	var hit bool
+	for _, f := range fs {
+		if f.Rule == "escape/new" && strings.Contains(f.Msg, "hot.Work") &&
+			strings.HasSuffix(f.Pos.Filename, "hot.go") && f.Pos.Line > 0 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("seeded escape not reported: findings = %v", renderAll(fs))
+	}
+
+	// A golden entry the compiler no longer emits must also fail
+	// (stale baseline).
+	if err := os.WriteFile(hotFile, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join(root, ".vixlint", "escapes.golden")
+	stale := append(golden, []byte("1\thot.Work\tbogus escapes to heap\n")...)
+	if err := os.WriteFile(goldenPath, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, _ = checkEscapes(t, root, opts)
+	var gone bool
+	for _, f := range fs {
+		if f.Rule == "escape/gone" && strings.HasSuffix(f.Pos.Filename, "escapes.golden") {
+			gone = true
+		}
+	}
+	if !gone {
+		t.Errorf("stale golden entry not reported: findings = %v", renderAll(fs))
+	}
+}
+
+// TestEscapeGateMarkerMustAttach: a //vixlint:hot marker that is not a
+// function declaration's doc comment watches nothing and must be
+// reported rather than ignored.
+func TestEscapeGateMarkerMustAttach(t *testing.T) {
+	files := escapeModule()
+	files["hot/stray.go"] = `package hot
+
+//vixlint:hot
+var Stray int
+`
+	root := writeTree(t, files)
+	fs, _ := checkEscapes(t, root, lint.EscapeOptions{Update: true})
+	var hit bool
+	for _, f := range fs {
+		if f.Rule == "escape/marker" && strings.HasSuffix(f.Pos.Filename, "stray.go") {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("stray marker not reported: findings = %v", renderAll(fs))
+	}
+}
+
+// TestEscapeGateToolchainSkew: a golden recorded under a different go
+// major.minor skips the diff (escape verdicts drift between releases)
+// and says so in the stats instead of failing on compiler drift.
+func TestEscapeGateToolchainSkew(t *testing.T) {
+	root := writeTree(t, escapeModule())
+	if _, _, err := lint.CheckEscapes(root, lint.EscapeOptions{Update: true}); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join(root, ".vixlint", "escapes.golden")
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := strings.Replace(string(golden), "\ngo go1.", "\ngo go0.", 1)
+	if skewed == string(golden) {
+		t.Skip("running toolchain is not a released go1.x; skew splice does not apply")
+	}
+	if err := os.WriteFile(goldenPath, []byte(skewed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, stats := checkEscapes(t, root, lint.EscapeOptions{})
+	if len(fs) != 0 {
+		t.Errorf("skewed toolchain reported findings: %v", renderAll(fs))
+	}
+	if stats.GoSkew == "" {
+		t.Errorf("stats = %+v; want GoSkew explaining the skipped diff", stats)
+	}
+}

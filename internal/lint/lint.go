@@ -77,10 +77,40 @@
 //     prefixed with the package name ("alloc: ...", "router %d: ...") so
 //     a crash names its origin; panic(err) and other opaque values are
 //     rejected.
+//   - hygiene/close (cmd/ only): a binary that binds a *network.Network
+//     must Close it in the same function — a Workers>1 network parks
+//     pool goroutines between cycles. Handles returned to a caller are
+//     the caller's problem (and matched there by the same rule).
+//
+// Shard ownership (every sim.Pool.Do site; see writeset.go and
+// shardown.go): a write-effect analysis summarises what each function
+// writes through references — (root, path) pairs like
+// "(*Network).shards[].ems" — and propagates the summaries over the
+// call graph, interface dispatch included.
+//
+//   - parallel/sharedwrite: everything a pool job's cone writes must
+//     fall under a shard-owned root declared in ShardOwnershipRoots;
+//     anything else is a cross-shard race candidate, reported with the
+//     rendered call path from job to writing statement.
+//   - parallel/phase: the job (phase A) must not read state the
+//     enclosing function mutates after the Do call (phase B, the serial
+//     merge), or workers>1 diverges from the serial loop without any
+//     data race.
+//   - A finding site carrying a "//vixlint:shared <justification>"
+//     comment is waived; parallel/waiver polices empty justifications.
+//
+// Escape gate (vixlint -escapes; see escapegate.go): heap escapes from
+// `go build -gcflags=-m` landing inside the forward call cones of
+// //vixlint:hot-marked functions are diffed against the committed
+// baseline .vixlint/escapes.golden — escape/new fails on a new or
+// multiplied escape with the compiler's file:line and reason,
+// escape/gone fails when the baseline rots, and escape/marker flags
+// hot markers attached to nothing. Regenerate with -update-escapes.
 //
 // Waiver hygiene (all packages): rule waiver/stale flags any
-// //vixlint:ordered or //vixlint:alloc directive that suppresses
-// nothing; waivers are auditable exceptions and dead ones rot.
+// //vixlint:ordered, //vixlint:alloc or //vixlint:shared directive that
+// suppresses nothing; waivers are auditable exceptions and dead ones
+// rot.
 //
 // Findings are reported as "file:line: rule: message". The engine
 // (engine.go) fans per-package analysis out on a bounded worker pool
@@ -128,6 +158,12 @@ func isInternal(path string) bool {
 	return strings.Contains(path, "/internal/") || strings.HasSuffix(path, "/internal")
 }
 
+// isCmdPath reports whether the import path is a command binary
+// (subject to hygiene/close).
+func isCmdPath(path string) bool {
+	return strings.Contains(path, "/cmd/") || strings.HasSuffix(path, "/cmd")
+}
+
 // isAllocPackage reports whether pkg is an allocator-registry package
 // (subject to the contracts family).
 func isAllocPackage(pkg *Package) bool {
@@ -138,10 +174,11 @@ func isAllocPackage(pkg *Package) bool {
 // touched by one goroutine at a time: the single-threaded source phase
 // first, then exactly one pool worker.
 type checker struct {
-	mod          *Module
-	pkg          *Package
-	waivers      *waiverSet
-	allocWaivers *waiverSet
+	mod           *Module
+	pkg           *Package
+	waivers       *waiverSet
+	allocWaivers  *waiverSet
+	sharedWaivers *waiverSet
 	// early holds the findings of the determinism family, which runs in
 	// the single-threaded source-collection phase (its checks double as
 	// taint-source detection).
@@ -151,10 +188,11 @@ type checker struct {
 // newChecker builds the checker for one package.
 func newChecker(mod *Module, pkg *Package) *checker {
 	return &checker{
-		mod:          mod,
-		pkg:          pkg,
-		waivers:      collectWaivers(mod, pkg, waiverDirective),
-		allocWaivers: collectWaivers(mod, pkg, allocWaiverDirective),
+		mod:           mod,
+		pkg:           pkg,
+		waivers:       collectWaivers(mod, pkg, waiverDirective),
+		allocWaivers:  collectWaivers(mod, pkg, allocWaiverDirective),
+		sharedWaivers: collectWaivers(mod, pkg, sharedWaiverDirective),
 	}
 }
 
@@ -175,6 +213,13 @@ const waiverDirective = "//vixlint:ordered"
 // way: an Allocate method that deliberately allocates its grants slice
 // per call carries the directive with a justification.
 const allocWaiverDirective = "//vixlint:alloc"
+
+// sharedWaiverDirective suppresses parallel/sharedwrite and
+// parallel/phase findings (shardown.go): a write or read inside a pool
+// job's cone that is provably confined — per-index, mutex-guarded with
+// order-independent results — carries the directive with the proof
+// sketch as justification.
+const sharedWaiverDirective = "//vixlint:shared"
 
 // waiverSet holds one directive's occurrences in a package, and tracks
 // which of them actually suppressed a violation — the rest are stale.
@@ -249,14 +294,18 @@ func (c *checker) waiverFindings() []Finding {
 	var fs []Finding
 	for _, file := range c.pkg.Files {
 		name := c.mod.Fset.Position(file.Pos()).Filename
-		for _, set := range []*waiverSet{c.waivers, c.allocWaivers} {
+		for _, set := range []*waiverSet{c.waivers, c.allocWaivers, c.sharedWaivers} {
 			for _, line := range sim.SortedKeys(set.lines[name]) {
 				if set.lines[name][line] == "" {
 					rule, msg := "determinism/waiver",
 						"vixlint:ordered waiver needs a justification explaining why iteration order cannot leak into results"
-					if set.directive == allocWaiverDirective {
+					switch set.directive {
+					case allocWaiverDirective:
 						rule, msg = "contracts/waiver",
 							"vixlint:alloc waiver needs a justification for allocating a fresh grants slice per call"
+					case sharedWaiverDirective:
+						rule, msg = "parallel/waiver",
+							"vixlint:shared waiver needs a justification proving the shared access is confined (per-index, or locked with order-independent results)"
 					}
 					fs = append(fs, Finding{
 						Pos:  token.Position{Filename: name, Line: line},

@@ -173,3 +173,74 @@ func TestRepoTypeChecks(t *testing.T) {
 		}
 	}
 }
+
+// TestShardOwnershipRootsArePinned makes growing the write-ownership
+// table a reviewed act, exactly like the concurrency allowlist: the
+// packages whose pool jobs may write anything at all are internal/network
+// (shard and router blocks, partitioned by index) and internal/harness
+// (per-job result slots and mutex-guarded bookkeeping). Anyone adding a
+// root must update this test and justify the confinement in the entry's
+// Why field.
+func TestShardOwnershipRootsArePinned(t *testing.T) {
+	want := map[string][]string{
+		"internal/network": {"(*Network).shards", "(*Network).routers"},
+		"internal/harness": {"captured results", "captured man", "captured jobErrs"},
+	}
+	if len(lint.ShardOwnershipRoots) != len(want) {
+		t.Fatalf("ShardOwnershipRoots covers %d packages, want %d: %v",
+			len(lint.ShardOwnershipRoots), len(want), lint.ShardOwnershipRoots)
+	}
+	for pkg, roots := range want {
+		got := lint.ShardOwnershipRoots[pkg]
+		if len(got) != len(roots) {
+			t.Errorf("ShardOwnershipRoots[%q] = %v, want roots %v", pkg, got, roots)
+			continue
+		}
+		for i, r := range roots {
+			if got[i].Root != r {
+				t.Errorf("ShardOwnershipRoots[%q][%d].Root = %q, want %q", pkg, i, got[i].Root, r)
+			}
+			if strings.TrimSpace(got[i].Why) == "" {
+				t.Errorf("ShardOwnershipRoots[%q][%d] (%s) has no justification", pkg, i, r)
+			}
+		}
+	}
+}
+
+// TestPoolJobsResolveOnRealTree pins job detection where it matters:
+// the write-effect rules only guard what they can find, so both real
+// Pool.Do sites — the network's method-value shardFn and the harness's
+// job literal — must resolve.
+func TestPoolJobsResolveOnRealTree(t *testing.T) {
+	mod, err := lint.Load(repoRoot(t))
+	if err != nil {
+		t.Fatalf("lint.Load: %v", err)
+	}
+	a := lint.NewAnalysis(mod)
+	jobs := a.PoolJobs()
+	want := []string{"func literal in harness.Run", "network.(*Network).runShard"}
+	for _, w := range want {
+		found := false
+		for _, j := range jobs {
+			if j == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("pool job %q did not resolve (resolved: %v); the parallel rules are blind to it", w, jobs)
+		}
+	}
+
+	// The shard job's write summary must stay inside the owned roots,
+	// and must actually flow through the cone (an empty summary would
+	// mean the analysis lost the writes, not that the code is clean).
+	writes := a.FuncWrites("vix/internal/network", "Network.runShard")
+	if len(writes) == 0 {
+		t.Fatal("runShard has an empty write summary; the write-effect analysis lost its cone")
+	}
+	for _, w := range writes {
+		if !strings.HasPrefix(w, "(*Network).shards") && !strings.HasPrefix(w, "(*Network).routers") {
+			t.Errorf("runShard writes %s, outside the declared shard-owned roots; either a race crept in or ShardOwnershipRoots is stale", w)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Command leaky constructs a network and drops the handle without
+// Close, leaking parked pool goroutines when Workers > 1.
+package main
+
+import "fix/internal/network"
+
+func main() {
+	n, err := network.New(4)
+	if err != nil {
+		return
+	}
+	n.Step()
+}

@@ -1,0 +1,15 @@
+// Package network mirrors the real constructor shape for the corpus:
+// a Network handle whose parallel form parks goroutines until Close.
+package network
+
+// Network is the handle cmd/ binaries must Close.
+type Network struct{ w int }
+
+// New constructs a network.
+func New(w int) (*Network, error) { return &Network{w: w}, nil }
+
+// Step ticks once.
+func (n *Network) Step() {}
+
+// Close releases pool goroutines.
+func (n *Network) Close() {}

@@ -1,0 +1,20 @@
+// Package feed seeds a cross-shard write reached through a stored
+// func value: the Do argument is a package variable, so the job must
+// resolve via the address-taken-function fallback.
+package feed
+
+import "fix/internal/sim"
+
+// Total is the shared accumulator no pool job may write.
+var Total int
+
+// add is address-taken below, making it an indirect-call target.
+func add(i int) { Total += i }
+
+// job stores the func value handed to Do.
+var job = add
+
+// Run dispatches through the stored func value.
+func Run(p *sim.Pool) {
+	p.Do(4, job)
+}

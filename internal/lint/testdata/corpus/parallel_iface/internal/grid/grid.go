@@ -1,0 +1,31 @@
+// Package grid seeds a cross-shard write reachable only through
+// interface dispatch: the job calls Cell.Put, and the Tally
+// implementation writes a package global.
+package grid
+
+import "fix/internal/sim"
+
+// Sink is the shared state no pool job may write.
+var Sink int
+
+// Cell is the dispatch interface between the job and the write.
+type Cell interface{ Put(v int) }
+
+// Tally implements Cell with the racing write.
+type Tally struct{}
+
+// Put writes the package global.
+func (Tally) Put(v int) { Sink = v }
+
+// cells holds the dispatch targets.
+var cells = []Cell{Tally{}}
+
+// step is the pool job; nothing in its own body writes shared state.
+func step(i int) {
+	cells[i%len(cells)].Put(i)
+}
+
+// Run fans the tick out.
+func Run(p *sim.Pool) {
+	p.Do(len(cells), step)
+}

@@ -1,0 +1,29 @@
+// Package merge seeds a phase overlap: the job (phase A) reads a field
+// the caller rewrites after the Do call (phase B), so workers>1 would
+// diverge from the serial loop even without a data race. The job's own
+// per-index write carries a //vixlint:shared waiver, exercising the
+// waiver path alongside the finding.
+package merge
+
+import "fix/internal/sim"
+
+// Grid carries per-index slots plus a merged total.
+type Grid struct {
+	slots []int
+	total int
+}
+
+// step is phase A: it reads g.total, which phase B mutates.
+func (g *Grid) step(i int) {
+	v := g.total + i
+	//vixlint:shared slots[i] is the job's own index; Do hands each index out exactly once
+	g.slots[i] = v
+}
+
+// Run fans out phase A, then merges in phase B.
+func (g *Grid) Run(p *sim.Pool) {
+	p.Do(len(g.slots), g.step)
+	for i := range g.slots {
+		g.total += g.slots[i]
+	}
+}

@@ -358,6 +358,8 @@ func (n *Network) recycleFlit(f *router.Flit) {
 }
 
 // Step advances the simulation one cycle.
+//
+//vixlint:hot
 func (n *Network) Step() {
 	slot := int(n.cycle % int64(n.qlen))
 

@@ -53,7 +53,11 @@ type tickShard struct {
 	delta stats.Delta          // activity counters accumulated in phase A
 }
 
-// resolveWorkers maps Config.Workers onto an effective worker count.
+// resolveWorkers maps Config.Workers onto an effective worker count:
+// 0 is the serial loop, negative is GOMAXPROCS, positive is taken as
+// given. Any result above 1 makes the network park pool goroutines
+// between cycles — owners must call Close when done (vixlint's
+// hygiene/close rule enforces this for cmd/ binaries).
 func resolveWorkers(w int) int {
 	switch {
 	case w == 0:
@@ -96,6 +100,8 @@ func (n *Network) initParallel() {
 // per-router emission and credit slice headers, pre-compute lookahead
 // routes for link emissions, and accumulate the activity counters the
 // serial loop's forward() would have recorded.
+//
+//vixlint:hot
 func (n *Network) runShard(si int) {
 	s := &n.shards[si]
 	var d stats.Delta

@@ -213,6 +213,8 @@ func (r *Router) Credits(outPort, vc int) int { return r.out[outPort].credits[vc
 //
 // Both returned slices are router-owned scratch, valid only until the
 // next Tick call; callers must consume (or copy) them within the cycle.
+//
+//vixlint:hot
 func (r *Router) Tick() (ems []Emission, credits []CreditMsg) {
 	r.ems = r.ems[:0]
 	r.creds = r.creds[:0]
