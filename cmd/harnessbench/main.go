@@ -5,6 +5,14 @@
 // performance trajectory. The merged results of the two runs are also
 // compared, re-asserting the byte-identical-across-workers guarantee on
 // every benchmark run.
+//
+// The parallel run executes over a content-addressed result store, and
+// a third pass replays the identical grid against that warm store: it
+// must simulate nothing, return byte-identical output, and beat
+// simulating by >= 100x (the cache_speedup section; -require-cache-gate
+// makes the factor a hard failure, as CI does). This is the number that
+// makes vixd's memoization worth its complexity: a repeated spec costs
+// a hash lookup, not a simulation.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 
 	"vix/internal/experiments"
 	"vix/internal/harness"
+	"vix/internal/store"
 )
 
 // report is the BENCH_harness.json schema.
@@ -35,16 +44,23 @@ type report struct {
 	SerialCycSec   float64 `json:"serial_cycles_per_sec"`
 	ParallelCycSec float64 `json:"parallel_cycles_per_sec"`
 	Identical      bool    `json:"merged_output_identical"`
+
+	// Cache section: the same grid replayed against the warm store.
+	WarmStoreNanos int64   `json:"warm_store_wall_ns"`
+	CacheSpeedup   float64 `json:"cache_speedup"` // simulate / served-from-store
+	CacheServed    int64   `json:"cache_served"`
+	CacheIdentical bool    `json:"cache_output_identical"`
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("harnessbench: ")
 	var (
-		out     = flag.String("o", "BENCH_harness.json", "output file (\"-\" for stdout)")
-		warmup  = flag.Int("warmup", 1000, "warmup cycles per point")
-		measure = flag.Int("measure", 3000, "measurement cycles per point")
-		workers = flag.Int("parallel", 0, "parallel worker count (default GOMAXPROCS)")
+		out       = flag.String("o", "BENCH_harness.json", "output file (\"-\" for stdout)")
+		warmup    = flag.Int("warmup", 1000, "warmup cycles per point")
+		measure   = flag.Int("measure", 3000, "measurement cycles per point")
+		workers   = flag.Int("parallel", 0, "parallel worker count (default GOMAXPROCS)")
+		cacheGate = flag.Bool("require-cache-gate", false, "fail unless served-from-store beats simulating by >= 100x")
 	)
 	flag.Parse()
 
@@ -56,13 +72,27 @@ func main() {
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	serialOut, serialNs, err := timedRun(p, grid, 1)
+	serialOut, serialNs, err := timedRun(p, grid, 1, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	parallelOut, parallelNs, err := timedRun(p, grid, *workers)
+	// The parallel run doubles as the cache's cold pass: it simulates
+	// every point and appends it to a shared store.
+	st := store.Memory()
+	parallelOut, parallelNs, err := timedRun(p, grid, *workers, st)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Warm pass: the identical grid over the warm store must be served
+	// entirely from it — zero simulations.
+	warmOut, warmNs, err := timedRun(p, grid, *workers, st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.Misses != int64(len(grid)) {
+		log.Fatalf("warm pass simulated %d points; every one of the %d must be served from the store",
+			stats.Misses-int64(len(grid)), len(grid))
 	}
 
 	totalCycles := int64(len(grid)) * int64(p.Warmup+p.Measure)
@@ -78,9 +108,19 @@ func main() {
 		SerialCycSec:   float64(totalCycles) / (float64(serialNs) / 1e9),
 		ParallelCycSec: float64(totalCycles) / (float64(parallelNs) / 1e9),
 		Identical:      bytes.Equal(serialOut, parallelOut),
+		WarmStoreNanos: warmNs,
+		CacheSpeedup:   float64(parallelNs) / float64(warmNs),
+		CacheServed:    stats.Served(),
+		CacheIdentical: bytes.Equal(serialOut, warmOut),
 	}
 	if !r.Identical {
 		log.Fatal("merged output differs between serial and parallel runs — determinism regression")
+	}
+	if !r.CacheIdentical {
+		log.Fatal("served-from-store output differs from simulated output — the cache is not an exact identity")
+	}
+	if *cacheGate && r.CacheSpeedup < 100 {
+		log.Fatalf("cache gate: served-from-store is only %.1fx faster than simulating, want >= 100x", r.CacheSpeedup)
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -97,13 +137,16 @@ func main() {
 	log.Printf("%d jobs: serial %v, parallel(%d) %v, speedup %.2fx on %d CPU(s)",
 		r.Jobs, time.Duration(serialNs).Round(time.Millisecond),
 		r.Workers, time.Duration(parallelNs).Round(time.Millisecond), r.Speedup, r.CPUs)
+	log.Printf("warm store: %v for %d served points, %.0fx faster than simulating",
+		time.Duration(warmNs).Round(time.Microsecond), r.CacheServed, r.CacheSpeedup)
 }
 
 // timedRun executes the grid with the given worker count and returns the
-// merged results as canonical bytes plus the wall time.
-func timedRun(p experiments.Params, grid []experiments.GridPoint, workers int) ([]byte, int64, error) {
+// merged results as canonical bytes plus the wall time. A non-nil store
+// memoizes the run's points.
+func timedRun(p experiments.Params, grid []experiments.GridPoint, workers int, st *store.Store) ([]byte, int64, error) {
 	start := time.Now()
-	snaps, err := experiments.RunGrid(context.Background(), p.Seed, grid, harness.Options{Parallel: workers})
+	snaps, err := experiments.RunGrid(context.Background(), p.Seed, grid, harness.Options{Parallel: workers, Store: st})
 	if err != nil {
 		return nil, 0, err
 	}

@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"vix/internal/alloc"
 	"vix/internal/config"
 	"vix/internal/harness"
 	"vix/internal/network"
@@ -232,7 +233,10 @@ func offeredLabel(rate float64, max bool) string {
 	return fmt.Sprintf("%g", rate)
 }
 
-// parseSchemes parses comma-separated allocator:k pairs.
+// parseSchemes parses comma-separated allocator:k pairs, rejecting
+// unknown allocators and impossible crossbar geometry up front — the
+// same checks config.Experiment.Validate applies to a spec file —
+// so a typo fails before any point simulates.
 func parseSchemes(s string) ([]scheme, error) {
 	var schemes []scheme
 	for _, part := range strings.Split(s, ",") {
@@ -244,18 +248,28 @@ func parseSchemes(s string) ([]scheme, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad virtual-input count in %q: %v", part, err)
 		}
+		if k < 1 {
+			return nil, fmt.Errorf("bad scheme %q: virtual-input count must be at least 1", part)
+		}
+		if !alloc.Known(alloc.Kind(name)) {
+			return nil, fmt.Errorf("bad scheme %q: unknown allocator %q (want one of %v)", part, name, alloc.Kinds())
+		}
 		schemes = append(schemes, scheme{alloc: name, k: k})
 	}
 	return schemes, nil
 }
 
-// parseRates parses comma-separated injection rates.
+// parseRates parses comma-separated injection rates, bounds-checked the
+// way config.Experiment.Validate bounds injection_rate.
 func parseRates(s string) ([]float64, error) {
 	var rates []float64
 	for _, r := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(r), 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad rate %q: %v", r, err)
+		}
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("bad rate %q: injection rate is packets/cycle/node in [0, 1]", r)
 		}
 		rates = append(rates, v)
 	}

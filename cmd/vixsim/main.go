@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +19,27 @@ import (
 	"vix/internal/config"
 	"vix/internal/network"
 )
+
+// flagForField maps a spec's JSON field path to the CLI flag that sets
+// it, so validation errors point at what the user actually typed.
+func flagForField(field string) string {
+	switch field {
+	case "topology":
+		return "topo"
+	case "allocator":
+		return "alloc"
+	case "virtual_inputs":
+		return "k"
+	case "buf_depth":
+		return "depth"
+	case "injection_rate":
+		return "rate"
+	case "packet_size":
+		return "pkt"
+	default:
+		return field
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -64,6 +86,19 @@ func main() {
 		exp.Warmup = *warmup
 		exp.Measure = *measure
 		exp.Seed = *seed
+	}
+
+	// Validate before building: the structured errors name each bad
+	// field by its JSON path, one line per problem.
+	if err := exp.Validate(); err != nil {
+		var ve config.ValidationError
+		if errors.As(err, &ve) {
+			for _, fe := range ve {
+				log.Printf("invalid -%s value: %s", flagForField(fe.Field), fe.Msg)
+			}
+			os.Exit(2)
+		}
+		log.Fatal(err)
 	}
 
 	cfg, err := exp.Build()

@@ -41,6 +41,21 @@ func Kinds() []Kind {
 	return []Kind{KindSeparableIF, KindWavefront, KindAugmentingPath, KindPacketChaining, KindIdeal, KindISLIP, KindSparoflo, KindSeparableAge}
 }
 
+// Known reports whether kind names a built-in or registered allocator.
+// It is the validation predicate spec checkers use to reject typos
+// before a configuration ever reaches New.
+func Known(kind Kind) bool {
+	if _, ok := custom[kind]; ok {
+		return true
+	}
+	for _, k := range Kinds() {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
 // custom holds user-registered allocator factories (see Register).
 var custom = map[Kind]func(Config) (Allocator, error){}
 

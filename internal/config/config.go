@@ -7,6 +7,7 @@ package config
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 
 	"vix/internal/alloc"
@@ -70,20 +71,38 @@ func Default() Experiment {
 	}
 }
 
-// Load reads an experiment description from a JSON file, applying
-// defaults for absent fields. Unknown fields are rejected to catch
-// typos.
+// Decode reads one experiment description from JSON, applying the
+// documented defaults for absent fields. Unknown fields are rejected to
+// catch typos, and the result is validated: a spec Decode accepts is a
+// spec Build can resolve. This is the single ingestion path for
+// experiment specs — config files (Load) and vixd request bodies both
+// go through it, so a field that defaults here defaults identically
+// everywhere, and identical specs hash to identical store IDs however
+// they arrived.
+func Decode(r io.Reader) (Experiment, error) {
+	e := Default()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&e); err != nil {
+		return Experiment{}, fmt.Errorf("config: parsing experiment: %w", err)
+	}
+	if err := e.Validate(); err != nil {
+		return Experiment{}, err
+	}
+	return e, nil
+}
+
+// Load reads an experiment description from a JSON file via Decode,
+// naming the file in any error.
 func Load(path string) (Experiment, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return Experiment{}, fmt.Errorf("config: %w", err)
 	}
 	defer f.Close()
-	e := Default()
-	dec := json.NewDecoder(f)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&e); err != nil {
-		return Experiment{}, fmt.Errorf("config: parsing %s: %w", path, err)
+	e, err := Decode(f)
+	if err != nil {
+		return Experiment{}, fmt.Errorf("%s: %w", path, err)
 	}
 	return e, nil
 }

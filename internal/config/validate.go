@@ -1,0 +1,127 @@
+package config
+
+import (
+	"fmt"
+	"strings"
+
+	"vix/internal/alloc"
+	"vix/internal/traffic"
+)
+
+// FieldError is one structured validation failure, naming the offending
+// field by its JSON path so API clients and CLI users can point the
+// message back at their input.
+type FieldError struct {
+	// Field is the JSON field path, e.g. "injection_rate".
+	Field string `json:"field"`
+	// Msg explains the constraint the value violates.
+	Msg string `json:"msg"`
+}
+
+// Error implements error.
+func (e FieldError) Error() string { return e.Field + ": " + e.Msg }
+
+// ValidationError aggregates every failed field of a spec, in field
+// order, so one round trip reports all problems instead of the first.
+// vixd serialises it into 400 responses; the CLIs print it line per
+// field.
+type ValidationError []FieldError
+
+// Error implements error.
+func (e ValidationError) Error() string {
+	msgs := make([]string, len(e))
+	for i, fe := range e {
+		msgs[i] = fe.Error()
+	}
+	return "config: invalid experiment: " + strings.Join(msgs, "; ")
+}
+
+// Validate checks the experiment for semantic errors — unknown enum
+// values, out-of-range numbers, impossible crossbar geometry — and
+// returns a ValidationError naming every offending field by its JSON
+// path, or nil. Zero values are legal everywhere a documented default
+// exists, so Validate accepts exactly the specs Build can resolve;
+// callers that reject a spec on Validate's word never hand the
+// simulator a config it would refuse (or, worse, misread).
+func (e Experiment) Validate() error {
+	var errs ValidationError
+	bad := func(field, format string, args ...any) {
+		errs = append(errs, FieldError{Field: field, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	switch e.Topology {
+	case "", "mesh", "cmesh", "fbfly":
+	default:
+		bad("topology", "unknown topology %q; want mesh, cmesh, or fbfly", e.Topology)
+	}
+	if e.Width < 0 {
+		bad("width", "must be non-negative, got %d", e.Width)
+	}
+	if e.Height < 0 {
+		bad("height", "must be non-negative, got %d", e.Height)
+	}
+	if e.Conc < 0 {
+		bad("conc", "must be non-negative, got %d", e.Conc)
+	}
+	if e.VCs < 0 {
+		bad("vcs", "must be non-negative, got %d", e.VCs)
+	}
+	if e.BufDepth < 0 {
+		bad("buf_depth", "must be non-negative, got %d", e.BufDepth)
+	}
+	if e.VirtualInputs < 0 {
+		bad("virtual_inputs", "must be non-negative, got %d", e.VirtualInputs)
+	}
+	// Effective crossbar geometry, after the documented defaults.
+	vcs, k := e.VCs, e.VirtualInputs
+	if vcs == 0 {
+		vcs = 6
+	}
+	if k == 0 {
+		k = 1
+	}
+	if k > 0 && vcs > 0 && k > vcs {
+		bad("virtual_inputs", "virtual inputs per port (%d) cannot exceed VCs per port (%d)", k, vcs)
+	}
+	if e.Allocator != "" && !alloc.Known(alloc.Kind(e.Allocator)) {
+		bad("allocator", "unknown allocator %q; want one of %v", e.Allocator, alloc.Kinds())
+	}
+	switch e.Policy {
+	case "", "maxfree", "dimension", "balanced":
+	default:
+		bad("policy", "unknown policy %q; want maxfree, dimension, or balanced", e.Policy)
+	}
+	switch e.Partition {
+	case "", "contiguous", "interleaved":
+	default:
+		bad("partition", "unknown partition %q; want contiguous or interleaved", e.Partition)
+	}
+
+	if e.Pattern != "" && !traffic.Known(e.Pattern) {
+		bad("pattern", "unknown traffic pattern %q; want one of %v", e.Pattern, traffic.Names())
+	}
+	if e.InjectionRate < 0 || e.InjectionRate > 1 {
+		bad("injection_rate", "must be in [0, 1] packets/cycle/node, got %g", e.InjectionRate)
+	}
+	if e.PacketSize < 0 {
+		bad("packet_size", "must be non-negative, got %d", e.PacketSize)
+	}
+
+	if e.Warmup < 0 {
+		bad("warmup", "must be non-negative, got %d", e.Warmup)
+	}
+	if e.Measure < 0 {
+		bad("measure", "must be non-negative, got %d", e.Measure)
+	}
+	if e.HopDelay < 0 {
+		bad("hop_delay", "must be non-negative, got %d", e.HopDelay)
+	}
+	if e.CreditDelay < 0 {
+		bad("credit_delay", "must be non-negative, got %d", e.CreditDelay)
+	}
+
+	if len(errs) == 0 {
+		return nil
+	}
+	return errs
+}

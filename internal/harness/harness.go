@@ -16,11 +16,17 @@
 //     worker count or completion order, so an artifact rendered from the
 //     returned slice is byte-identical for -parallel=1 and -parallel=N.
 //
-//   - Resumable manifest. With Options.Manifest set, every completed
-//     job's result is appended to a JSONL checkpoint keyed by a content
-//     hash of the job's spec. A rerun skips completed points and splices
-//     their cached values into the merged output, so an interrupted grid
-//     finishes exactly where an uninterrupted one would have.
+//   - Content-addressed result store. With Options.Manifest (a file
+//     path) or Options.Store (a shared *store.Store) set, every
+//     completed job's result is appended to the store keyed by a content
+//     hash of the job's name and spec (JobID). A rerun skips completed
+//     points and splices their cached values into the merged output, so
+//     an interrupted grid finishes exactly where an uninterrupted one
+//     would have — and because the store is content-addressed rather
+//     than run-scoped, any later grid, any other CLI, or the vixd
+//     service can reuse the same entries: identical specs are served
+//     without simulating. Concurrent Runs sharing one Store single-
+//     flight: N in-flight requests for one spec simulate once.
 //
 // Jobs execute on a sim.Pool, the shared bounded worker pool that also
 // powers the network's sharded parallel tick. When the effective worker
@@ -41,6 +47,7 @@ import (
 	"sync"
 
 	"vix/internal/sim"
+	"vix/internal/store"
 )
 
 // Job is one self-contained experiment point of a grid.
@@ -72,15 +79,16 @@ type Job struct {
 type Result struct {
 	// Index is the job's position in the input slice.
 	Index int
-	// ID is the content hash of the job's spec — its manifest key.
+	// ID is the content hash of the job's name and spec — its store key.
 	ID string
 	// Name echoes Job.Name.
 	Name string
 	// Value is the JSON encoding of Run's return value. It is nil when
 	// the run failed or was interrupted before the job started.
 	Value json.RawMessage
-	// Cached reports that Value was spliced from the manifest instead
-	// of being recomputed.
+	// Cached reports that Value was served from the result store — an
+	// entry recorded by an earlier run, or another in-flight request for
+	// the same spec — instead of being simulated by this job.
 	Cached bool
 	// Telemetry records the job's wall-clock cost. For cached results
 	// it is the cost recorded when the job originally ran.
@@ -92,17 +100,24 @@ type Options struct {
 	// Parallel is the worker count. Values <= 0 mean GOMAXPROCS.
 	Parallel int
 
-	// Manifest, when non-empty, is the path of the JSONL checkpoint.
-	// Jobs whose IDs appear in it are skipped and their recorded values
-	// spliced into the results; newly completed jobs are appended as
-	// they finish, so an interrupted run can resume.
+	// Manifest, when non-empty, is the path of the JSONL result store.
+	// Jobs whose IDs appear in it are served from it instead of
+	// simulating; newly completed jobs are appended as they finish, so
+	// an interrupted run resumes and a later run — this CLI, another
+	// CLI, or vixd pointed at the same file — reuses the entries.
 	Manifest string
 
+	// Store, when non-nil, is an already-open result store shared with
+	// other Runs (the vixd service holds one store across every suite).
+	// It takes precedence over Manifest and is not closed by Run.
+	// Concurrent Runs sharing a Store single-flight identical specs.
+	Store *store.Store
+
 	// OnDone, when non-nil, observes every result as it completes
-	// (cached results are reported too, in job order, before any work
-	// starts). It may be invoked concurrently from worker goroutines
-	// and must not block for long; completion order is scheduling-
-	// dependent and must never be used to build artifacts.
+	// (cached results are reported too, as their jobs are claimed). It
+	// may be invoked concurrently from worker goroutines and must not
+	// block for long; completion order is scheduling-dependent and must
+	// never be used to build artifacts.
 	OnDone func(Result)
 }
 
@@ -137,7 +152,7 @@ func DecodeAll[T any](rs []Result) ([]T, error) {
 
 // Run executes the grid and returns results in job order. The returned
 // slice always has len(jobs) entries; on error, entries whose jobs never
-// ran have a nil Value. Completed jobs are checkpointed to the manifest
+// ran have a nil Value. Completed jobs are appended to the result store
 // (if configured) even when the run as a whole fails or is cancelled, so
 // a rerun resumes rather than restarts.
 func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
@@ -145,31 +160,21 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	var man *manifest
-	if opt.Manifest != "" {
-		man, err = openManifest(opt.Manifest)
+	// Every run executes against a store: the caller's shared one, the
+	// manifest file, or — with neither configured — a throwaway in-memory
+	// table, so the job path is identical in all three modes.
+	st := opt.Store
+	if st == nil {
+		st, err = store.Open(opt.Manifest)
 		if err != nil {
 			return nil, err
 		}
-		defer man.close()
+		defer st.Close()
 	}
 
 	results := make([]Result, len(jobs))
-	var todo []int
 	for i := range jobs {
 		results[i] = Result{Index: i, ID: ids[i], Name: jobs[i].Name}
-		if man != nil {
-			if e, ok := man.lookup(ids[i]); ok {
-				results[i].Value = e.Value
-				results[i].Cached = true
-				results[i].Telemetry = e.Telemetry
-				if opt.OnDone != nil {
-					opt.OnDone(results[i])
-				}
-				continue
-			}
-		}
-		todo = append(todo, i)
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -189,39 +194,45 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(todo) {
-		workers = len(todo)
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
 	if workers < 1 {
 		workers = 1
 	}
 
-	// The pool runs jobs by their position in todo. With one effective
-	// worker — explicit -parallel=1, a one-job grid, or a single-CPU host
-	// — Pool.Do executes every job inline on this goroutine: no feed
+	// The pool hands out job indices. With one effective worker — an
+	// explicit -parallel=1, a one-job grid, or a single-CPU host —
+	// Pool.Do executes every job inline on this goroutine: no feed
 	// channel, no worker spawn, no handoff overhead, so a serial grid run
-	// costs what the old one-point-at-a-time loop cost.
+	// costs what the old one-point-at-a-time loop cost. Each job resolves
+	// through the store's single-flight gate: a stored entry (this run's
+	// manifest, an earlier run, another CLI, a vixd suite) is served
+	// without simulating, an identical spec already in flight anywhere in
+	// the process is waited on and shared, and only a genuine miss
+	// simulates — then appends its entry for every future run.
 	pool := sim.NewPool(workers)
 	defer pool.Close()
-	pool.Do(len(todo), func(k int) {
-		i := todo[k]
+	pool.Do(len(jobs), func(i int) {
 		if runCtx.Err() != nil {
 			return
 		}
-		res, err := runJob(runCtx, jobs[i], results[i])
+		e, outcome, err := st.Do(runCtx, ids[i], func() (store.Entry, error) {
+			res, err := runJob(runCtx, jobs[i], results[i])
+			if err != nil {
+				return store.Entry{}, err
+			}
+			return store.Entry{ID: res.ID, Name: res.Name, Value: res.Value, Telemetry: res.Telemetry}, nil
+		})
 		if err != nil {
 			fail(err)
 			return
 		}
-		if man != nil {
-			if err := man.append(entry{ID: res.ID, Name: res.Name, Value: res.Value, Telemetry: res.Telemetry}); err != nil {
-				fail(err)
-				return
-			}
-		}
-		results[i] = res
+		results[i].Value = e.Value
+		results[i].Telemetry = e.Telemetry
+		results[i].Cached = outcome != store.Computed
 		if opt.OnDone != nil {
-			opt.OnDone(res)
+			opt.OnDone(results[i])
 		}
 	})
 
@@ -257,7 +268,7 @@ func jobIDs(jobs []Job) ([]string, error) {
 	ids := make([]string, len(jobs))
 	seen := make(map[string]int, len(jobs))
 	for i, job := range jobs {
-		id, err := jobID(job)
+		id, err := JobID(job)
 		if err != nil {
 			return nil, err
 		}

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"vix/internal/sim"
+	"vix/internal/store"
 )
 
 // gridSpec is the test stand-in for an experiment point spec.
@@ -199,11 +200,11 @@ func TestManifestToleratesTornTail(t *testing.T) {
 func TestJobIDStability(t *testing.T) {
 	a := Job{Name: "x", Spec: gridSpec{Study: "s", Point: 1, Seed: 7}}
 	b := Job{Name: "x", Spec: gridSpec{Study: "s", Point: 1, Seed: 7}}
-	idA, err := jobID(a)
+	idA, err := JobID(a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	idB, err := jobID(b)
+	idB, err := JobID(b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestJobIDStability(t *testing.T) {
 		t.Fatalf("equal jobs hashed unequally: %s vs %s", idA, idB)
 	}
 	c := Job{Name: "x", Spec: gridSpec{Study: "s", Point: 2, Seed: 7}}
-	idC, err := jobID(c)
+	idC, err := JobID(c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestJobIDStability(t *testing.T) {
 		t.Fatal("distinct specs hashed equally")
 	}
 	d := Job{Name: "y", Spec: a.Spec}
-	idD, err := jobID(d)
+	idD, err := JobID(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,5 +366,120 @@ func TestSerialRunExecutesInline(t *testing.T) {
 	}
 	if !strings.Contains(stack, "TestSerialRunExecutesInline") {
 		t.Errorf("job did not run on the calling goroutine; stack:\n%s", stack)
+	}
+}
+
+// TestConcurrentRunsShareStoreSingleFlight is the multi-writer contract
+// for one shared Store: two harness.Runs executing the same grid
+// concurrently must produce byte-identical artifacts while simulating
+// each point exactly once — whichever Run reaches a point first computes
+// it, and the other is served from the store (a hit) or waits on the
+// in-flight computation (a dedup).
+func TestConcurrentRunsShareStoreSingleFlight(t *testing.T) {
+	jobs := fakeGrid(16)
+	st, err := store.Open(filepath.Join(t.TempDir(), "shared.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	var wg sync.WaitGroup
+	outs := make([][]Result, 2)
+	errs := make([]error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			outs[r], errs[r] = Run(context.Background(), jobs, Options{Parallel: 4, Store: st})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", r, err)
+		}
+	}
+	if a, b := render(t, outs[0]), render(t, outs[1]); !bytes.Equal(a, b) {
+		t.Fatalf("concurrent runs diverged:\nA:\n%s\nB:\n%s", a, b)
+	}
+	stats := st.Stats()
+	if stats.Misses != int64(len(jobs)) {
+		t.Fatalf("store computed %d points for %d-job grid run twice; single-flight must simulate each exactly once (stats %+v)",
+			stats.Misses, len(jobs), stats)
+	}
+	if got := stats.Served(); got != int64(len(jobs)) {
+		t.Fatalf("served %d results from the store, want %d (stats %+v)", got, len(jobs), stats)
+	}
+	if st.Len() != len(jobs) {
+		t.Fatalf("store holds %d entries, want %d", st.Len(), len(jobs))
+	}
+}
+
+// TestConcurrentRunsSharingOnePath is the two-process model: separate
+// Store instances appending to one file concurrently. There is no
+// cross-instance single-flight (each may simulate every point), but the
+// O_APPEND whole-line discipline must keep the file intact: both runs
+// succeed, artifacts are byte-identical, and a fresh Store loads every
+// entry from the shared file.
+func TestConcurrentRunsSharingOnePath(t *testing.T) {
+	jobs := fakeGrid(12)
+	path := filepath.Join(t.TempDir(), "shared.jsonl")
+
+	var wg sync.WaitGroup
+	outs := make([][]Result, 2)
+	errs := make([]error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			outs[r], errs[r] = Run(context.Background(), jobs, Options{Parallel: 3, Manifest: path})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", r, err)
+		}
+	}
+	if a, b := render(t, outs[0]), render(t, outs[1]); !bytes.Equal(a, b) {
+		t.Fatalf("runs sharing one path diverged:\nA:\n%s\nB:\n%s", a, b)
+	}
+
+	// Every line in the shared file must be whole (no interleaved tears),
+	// and the union must cover the grid.
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Len() != len(jobs) {
+		t.Fatalf("shared file resolves to %d entries, want %d", st.Len(), len(jobs))
+	}
+	for _, r := range outs[0] {
+		e, ok := st.Lookup(r.ID)
+		if !ok {
+			t.Fatalf("job %s missing from shared store", r.Name)
+		}
+		if !bytes.Equal(e.Value, r.Value) {
+			t.Fatalf("job %s: stored value %s differs from result %s", r.Name, e.Value, r.Value)
+		}
+	}
+
+	// A third run over the same path must be served entirely from the
+	// store: zero simulations.
+	var ran int
+	res, err := Run(context.Background(), jobs, Options{Parallel: 2, Manifest: path, OnDone: func(r Result) {
+		if !r.Cached {
+			ran++
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 0 {
+		t.Fatalf("rerun over a complete store simulated %d points, want 0", ran)
+	}
+	if !bytes.Equal(render(t, res), render(t, outs[0])) {
+		t.Fatal("rerun served from store differs from the original artifact")
 	}
 }

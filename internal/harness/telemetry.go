@@ -1,21 +1,19 @@
 package harness
 
-import "time"
+import (
+	"time"
 
-// Telemetry is the wall-clock cost of one job. It is emitted alongside
-// results — stderr logs, BENCH_harness.json — and recorded in the
-// manifest, but it never enters a merged artifact: the CSVs and tables
-// the harness produces stay byte-identical across machines and worker
-// counts.
-type Telemetry struct {
-	// WallNanos is the job's elapsed wall time in nanoseconds.
-	WallNanos int64 `json:"wall_ns"`
-	// Cycles is the number of simulated cycles (from Job.Cycles).
-	Cycles int64 `json:"cycles,omitempty"`
-	// CyclesPerSec is the simulation rate, the harness's headline
-	// throughput metric.
-	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
-}
+	"vix/internal/store"
+)
+
+// Telemetry is the wall-clock cost of one job. The type lives in
+// internal/store — it is recorded in every store entry — and is aliased
+// here so harness callers keep reading results the way they always have.
+// Telemetry is emitted alongside results (stderr logs,
+// BENCH_harness.json) but never enters a merged artifact: the CSVs and
+// tables the harness produces stay byte-identical across machines and
+// worker counts.
+type Telemetry = store.Telemetry
 
 // wallClock reads the wall clock for telemetry. This is the only
 // sanctioned wall-clock read in internal/: the value annotates harness
@@ -36,6 +34,3 @@ func newTelemetry(start time.Time, cycles int64) Telemetry {
 	}
 	return t
 }
-
-// Duration returns the wall time as a time.Duration.
-func (t Telemetry) Duration() time.Duration { return time.Duration(t.WallNanos) }

@@ -29,6 +29,13 @@ var ConcurrencyAllowlist = map[string]bool{
 	// goroutine, so output is byte-identical for any worker count; the
 	// network package itself contains no go statements.
 	"internal/network": true,
+	// internal/service is the vixd serving layer: runner goroutines
+	// executing queued cases and per-suite watcher channels. Scheduling
+	// cannot reach results — a case's value is a pure function of its
+	// spec (it executes through the harness over the content-addressed
+	// store), and result streams are emitted in case order, not
+	// completion order.
+	"internal/service": true,
 }
 
 // concurrencyAllowed reports whether the package under analysis may use

@@ -58,7 +58,7 @@ var ShardOwnershipRoots = map[string][]OwnershipRoot{
 	},
 	"internal/harness": {
 		{Root: "captured results", Why: "results[i] is the per-job slot; Pool.Do hands out each index exactly once"},
-		{Root: "captured man", Why: "manifest appends are mutex-guarded and line-per-job; file order is not part of results"},
+		{Root: "captured st", Why: "store.Store methods guard entries/flights/file with the store mutex and append whole lines; store order is not part of results"},
 		{Root: "captured jobErrs", Why: "guarded by mu in the fail closure; error collection order is not part of results"},
 	},
 }

@@ -1,0 +1,72 @@
+package service
+
+import "sync"
+
+// quotas meters case admission per client with a token bucket: each
+// submitted case costs one token, tokens refill at rate per second up
+// to burst. A client that drains its bucket gets 429 with a
+// Retry-After hint instead of unbounded queue occupancy. Time comes
+// from the injected clock only — the service never reads the wall
+// clock, so tests drive quotas deterministically.
+type quotas struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second; <= 0 disables quotas
+	burst   float64 // bucket capacity
+	now     func() int64
+	buckets map[string]*bucket
+}
+
+// bucket is one client's admission state.
+type bucket struct {
+	tokens float64
+	last   int64 // nanos of the last refill
+}
+
+// newQuotas builds the quota table. Burst defaults to max(rate, 1) so a
+// configured rate always admits at least one case from a fresh bucket.
+func newQuotas(rate, burst float64, now func() int64) *quotas {
+	if burst <= 0 {
+		burst = rate
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotas{rate: rate, burst: burst, now: now, buckets: make(map[string]*bucket)}
+}
+
+// admit charges the client n tokens. It returns ok, or the number of
+// seconds after which retrying the same request can succeed. Requests
+// larger than the bucket can never succeed; they are rejected with the
+// time a full bucket would take to fill, as a signal to split the
+// submission.
+func (q *quotas) admit(client string, n int) (ok bool, retryAfter float64) {
+	if q.rate <= 0 || n <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	nowNs := q.now()
+	b := q.buckets[client]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: nowNs}
+		q.buckets[client] = b
+	}
+	elapsed := float64(nowNs-b.last) / 1e9
+	if elapsed > 0 {
+		b.tokens += elapsed * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+	}
+	b.last = nowNs
+	need := float64(n)
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0
+	}
+	missing := need - b.tokens
+	if need > q.burst {
+		missing = q.burst
+	}
+	return false, missing / q.rate
+}

@@ -237,6 +237,22 @@ func (h Hotspot) Dest(src int, rng *sim.RNG) int {
 	return h.uniform.Dest(src, rng)
 }
 
+// Names lists the pattern names New recognises, in documentation order.
+func Names() []string {
+	return []string{"uniform", "transpose", "bitcomp", "bitrev", "tornado", "shuffle", "neighbor", "hotspot"}
+}
+
+// Known reports whether name is a pattern New recognises — the
+// validation predicate spec checkers use to reject typos up front.
+func Known(name string) bool {
+	for _, n := range Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
 // New constructs a pattern by name over an w x h logical node grid.
 // Recognised names: uniform, transpose, bitcomp, bitrev, tornado,
 // hotspot (hotspot uses node 0 with fraction 0.2).
