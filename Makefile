@@ -71,7 +71,7 @@ lint-bench:
 # GOMAXPROCS would otherwise keep the pool on its inline path.
 race:
 	go test -race ./...
-	go test -race -run 'TestParallelTick|TestSteadyStateZeroAllocs' ./internal/network/
+	go test -race -run 'TestParallelTick|TestSteadyStateZeroAllocs|TestActivityGate' ./internal/network/
 
 test:
 	go test ./...
@@ -90,13 +90,16 @@ sweep:
 # Benchmark the harness itself: serial vs parallel wall time over the
 # Figure 8 grid, recorded to BENCH_harness.json for the perf trajectory.
 # Then benchmark the cycle loop: cycles/sec of Network.Step on a
-# saturated 8x8 VIX mesh (serial), plus the 16x16 parallel-tick section
-# — serial and sharded cycles/sec, the effective worker count, and the
+# saturated 8x8 VIX mesh (serial), the low-load activity-gate section
+# (gated vs dense cycles/sec at 2/10/30% of 16x16 saturation, stats
+# identity checked per point), plus the 16x16 parallel-tick section —
+# serial and sharded cycles/sec, the effective worker count, and the
 # host CPU count — recorded to BENCH_cycle.json. cyclebench carries the
 # pre-optimization baseline over from the existing file, so the speedup
 # column keeps comparing against the same reference point, and it exits
-# non-zero if the parallel tick's statistics diverge from the serial
-# loop's (or the >= 1.8x speedup gate fails on a >= 4-CPU host).
+# non-zero if any section's statistics diverge from its reference loop
+# (or a speedup gate fails where it applies: >= 1.8x parallel on a
+# >= 4-CPU host, >= 5x gated at the 2%-load point).
 bench-json:
 	go run ./cmd/harnessbench -o BENCH_harness.json
 	@cat BENCH_harness.json

@@ -14,6 +14,7 @@ package main
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"runtime"
@@ -40,24 +41,63 @@ type report struct {
 	MallocsPerCycle  float64 `json:"mallocs_per_cycle"`
 	AllocBytesPerCyc float64 `json:"alloc_bytes_per_cycle"`
 
+	LowLoad  *lowLoadReport  `json:"low_load,omitempty"`
 	Parallel *parallelReport `json:"parallel,omitempty"`
 }
 
 // parallelReport records the sharded-tick section: the same 16x16
 // workload stepped serially and with -workers shards, the byte-identity
-// verdict, and whether the speedup gate applied on this host.
+// verdict, and whether the speedup gate applied on this host. On hosts
+// where the worker request resolves to a single worker the section is
+// recorded as skipped with a reason instead of timing a "parallel" run
+// that would bypass the pool and report a meaningless speedup.
 type parallelReport struct {
 	Workload       string  `json:"workload"`
 	Workers        int     `json:"workers"`
-	WarmupCycles   int     `json:"warmup_cycles"`
-	MeasureCycles  int     `json:"measure_cycles"`
-	SerialCycSec   float64 `json:"serial_cycles_per_sec"`
-	ParallelCycSec float64 `json:"parallel_cycles_per_sec"`
-	Speedup        float64 `json:"speedup"`
-	StatsIdentical bool    `json:"stats_identical"`
+	WarmupCycles   int     `json:"warmup_cycles,omitempty"`
+	MeasureCycles  int     `json:"measure_cycles,omitempty"`
+	SerialCycSec   float64 `json:"serial_cycles_per_sec,omitempty"`
+	ParallelCycSec float64 `json:"parallel_cycles_per_sec,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+	StatsIdentical bool    `json:"stats_identical,omitempty"`
 	// GateEnforced reports whether the >= 1.8x speedup gate applied:
 	// it needs at least 4 CPUs and at least 4 effective workers.
-	GateEnforced bool `json:"gate_enforced"`
+	GateEnforced bool   `json:"gate_enforced"`
+	Skipped      bool   `json:"skipped,omitempty"`
+	SkipReason   string `json:"skip_reason,omitempty"`
+}
+
+// lowLoadReport records the activity-gate section: the 16x16 workload at
+// fractions of its measured saturation throughput, stepped serially with
+// the gate on (the default) and off (DisableActivityGate), with the
+// byte-identity verdict per point. The gate's win shrinks as load rises:
+// a flit occupies a router for roughly one tick per flit per hop, so at
+// load l the gated tick still executes ~4*hops*l of the dense tick's
+// router work and the dense/gated ratio is bounded by the reciprocal —
+// ~4x at 10% load, ~1.3x at 30% (DESIGN.md section 15). The >= 5x gate
+// is therefore enforced at the deep-low-load point every sweep's tail
+// spends most of its wall clock in.
+type lowLoadReport struct {
+	Workload      string `json:"workload"`
+	WarmupCycles  int    `json:"warmup_cycles"`
+	MeasureCycles int    `json:"measure_cycles"`
+	// SaturationPkt is the measured saturation throughput of this
+	// workload (packets/node/cycle, MaxInjection, seed 1) that the
+	// points' load percentages refer to.
+	SaturationPkt float64        `json:"saturation_pkt_per_node_cycle"`
+	Points        []lowLoadPoint `json:"points"`
+}
+
+// lowLoadPoint is one load point of the low_load section.
+type lowLoadPoint struct {
+	LoadPct        float64 `json:"load_pct"`
+	Rate           float64 `json:"rate_pkt_per_node_cycle"`
+	GatedCycSec    float64 `json:"gated_cycles_per_sec"`
+	DenseCycSec    float64 `json:"dense_cycles_per_sec"`
+	Speedup        float64 `json:"speedup"`
+	StatsIdentical bool    `json:"stats_identical"`
+	// MinSpeedup is the enforced floor at this point (0: not gated).
+	MinSpeedup float64 `json:"min_speedup,omitempty"`
 }
 
 func main() {
@@ -69,9 +109,10 @@ func main() {
 		measure     = flag.Int("measure", 20000, "measurement cycles")
 		baseline    = flag.Float64("baseline", 0, "pre-change cycles/sec reference (0: carry over from existing output file)")
 		workers     = flag.Int("workers", -1, "parallel-tick workers for the 16x16 section (<0 GOMAXPROCS)")
+		injectRate  = flag.Float64("inject-rate", 0, "bench the low_load section at this single rate (packets/node/cycle) instead of the standard load points; the custom point carries no speedup gate")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the measurement window to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile taken after the measurement to this file")
-		requireGate = flag.Bool("require-gate", false, "fail unless the parallel speedup gate actually applied (CI multicore job: a host too small to enforce it must not pass silently)")
+		requireGate = flag.Bool("require-gate", false, "fail unless the parallel and low-load speedup gates actually applied (CI multicore job: a host or flag set that cannot enforce them must not pass silently)")
 	)
 	flag.Parse()
 
@@ -137,6 +178,7 @@ func main() {
 	}
 	r.BaselineCycSec = resolveBaseline(*baseline, *out, r.CycSec)
 	r.Speedup = r.CycSec / r.BaselineCycSec
+	r.LowLoad = benchLowLoad(*injectRate, *warmup, *measure/4, *requireGate)
 	r.Parallel = benchParallel(*workers, *warmup, *measure/4)
 
 	data, err := json.MarshalIndent(r, "", "  ")
@@ -153,36 +195,121 @@ func main() {
 	}
 	log.Printf("%d cycles in %v: %.0f cycles/sec (baseline %.0f, speedup %.2fx), %.1f mallocs/cycle",
 		*measure, elapsed.Round(time.Millisecond), r.CycSec, r.BaselineCycSec, r.Speedup, r.MallocsPerCycle)
+	for _, pt := range r.LowLoad.Points {
+		log.Printf("low_load: %.0f%% load (rate %.5f): dense %.0f -> gated %.0f cycles/sec (%.2fx, floor %.1fx)",
+			pt.LoadPct, pt.Rate, pt.DenseCycSec, pt.GatedCycSec, pt.Speedup, pt.MinSpeedup)
+	}
 	if p := r.Parallel; p != nil {
-		log.Printf("parallel: %d workers on %s: %.0f -> %.0f cycles/sec (%.2fx, gate %v)",
-			p.Workers, p.Workload, p.SerialCycSec, p.ParallelCycSec, p.Speedup, p.GateEnforced)
+		if p.Skipped {
+			log.Printf("parallel: skipped: %s", p.SkipReason)
+		} else {
+			log.Printf("parallel: %d workers on %s: %.0f -> %.0f cycles/sec (%.2fx, gate %v)",
+				p.Workers, p.Workload, p.SerialCycSec, p.ParallelCycSec, p.Speedup, p.GateEnforced)
+		}
 		if *requireGate && !p.GateEnforced {
-			log.Fatalf("-require-gate: speedup gate did not apply (%d CPUs, %d effective workers; need >= 4 of each)",
+			log.Fatalf("-require-gate: parallel speedup gate did not apply (%d CPUs, %d effective workers; need >= 4 of each)",
 				runtime.NumCPU(), p.Workers)
 		}
 	}
+}
+
+// mesh16Config is the 16x16 VIX mesh configuration shared by the
+// low-load and parallel sections.
+func mesh16Config() network.Config {
+	topo := topology.NewMesh(16, 16)
+	return network.Config{
+		Topology: topo,
+		Router: router.Config{
+			Ports: topo.Radix, VCs: 6, VirtualInputs: 2, BufDepth: 5,
+			AllocKind: alloc.KindSeparableIF, Policy: router.PolicyBalanced,
+		},
+		Pattern: traffic.NewUniform(topo.NumNodes),
+		Seed:    1,
+	}
+}
+
+// mesh16Saturation is the measured saturation throughput of the
+// mesh16Config workload under MaxInjection (packets/node/cycle, 5000
+// measured cycles after 3000 warmup): the reference the low_load
+// section's load percentages are fractions of. Remeasure with
+// MaxInjection if the router pipeline changes.
+const mesh16Saturation = 0.0558
+
+// benchLowLoad times the 16x16 mesh serially at fractions of its
+// measured saturation throughput, with the activity gate on and off,
+// and verifies the two produce identical statistics at every point.
+// The >= 5x floor is enforced at the deepest point; the 10% and 30%
+// points are recorded for the physics-bounded ratios the section's doc
+// comment derives. A custom -inject-rate point carries no floor, so
+// -require-gate refuses it: CI must bench the gated points.
+func benchLowLoad(injectRate float64, warmup, measure int, requireGate bool) *lowLoadReport {
+	const workload = "16x16 mesh, if:2 (VIX), 6 VCs, uniform random, seed 1, serial"
+	rep := &lowLoadReport{
+		Workload:      workload,
+		WarmupCycles:  warmup,
+		MeasureCycles: measure,
+		SaturationPkt: mesh16Saturation,
+	}
+	points := []lowLoadPoint{
+		{LoadPct: 2, MinSpeedup: 5},
+		{LoadPct: 10},
+		{LoadPct: 30},
+	}
+	if injectRate > 0 {
+		if requireGate {
+			log.Fatalf("-require-gate: a custom -inject-rate %v point carries no speedup floor; drop one of the flags", injectRate)
+		}
+		points = []lowLoadPoint{{LoadPct: 100 * injectRate / mesh16Saturation, Rate: injectRate}}
+	}
+	run := func(rate float64, disableGate bool) (float64, stats.Snapshot) {
+		cfg := mesh16Config()
+		cfg.InjectionRate = rate
+		cfg.DisableActivityGate = disableGate
+		n, err := network.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer n.Close()
+		n.Warmup(warmup)
+		start := time.Now()
+		s := n.Measure(measure)
+		return float64(measure) / time.Since(start).Seconds(), s
+	}
+	for _, pt := range points {
+		if pt.Rate == 0 {
+			pt.Rate = mesh16Saturation * pt.LoadPct / 100
+		}
+		var gatedSnap, denseSnap stats.Snapshot
+		pt.GatedCycSec, gatedSnap = run(pt.Rate, false)
+		pt.DenseCycSec, denseSnap = run(pt.Rate, true)
+		pt.Speedup = pt.GatedCycSec / pt.DenseCycSec
+		pt.StatsIdentical = gatedSnap == denseSnap
+		if !pt.StatsIdentical {
+			log.Fatalf("activity gate diverged at %.0f%% load (rate %.5f): gated stats differ from dense\ngated: %+v\ndense: %+v",
+				pt.LoadPct, pt.Rate, gatedSnap, denseSnap)
+		}
+		if pt.MinSpeedup > 0 && pt.Speedup < pt.MinSpeedup {
+			log.Fatalf("low-load speedup gate failed at %.0f%% load: %.2fx gated vs dense (want >= %.1fx)",
+				pt.LoadPct, pt.Speedup, pt.MinSpeedup)
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep
 }
 
 // benchParallel times the 16x16 saturated VIX mesh serially and with the
 // sharded tick, verifies the two produce identical statistics, and
 // enforces the parallel speedup gate on hosts with enough CPUs. A worker
 // request that resolves to 1 (e.g. GOMAXPROCS on a single-CPU machine)
-// still records the section, with the pool bypassed and speedup ~1.
+// records the section as skipped with the reason instead of timing a
+// pool-bypassing run whose speedup would be meaningless.
 func benchParallel(workers, warmup, measure int) *parallelReport {
 	const workload = "16x16 mesh, if:2 (VIX), 6 VCs, uniform random, max injection, seed 1"
-	topo := topology.NewMesh(16, 16)
 	build := func(w int) *network.Network {
-		n, err := network.New(network.Config{
-			Topology: topo,
-			Router: router.Config{
-				Ports: topo.Radix, VCs: 6, VirtualInputs: 2, BufDepth: 5,
-				AllocKind: alloc.KindSeparableIF, Policy: router.PolicyBalanced,
-			},
-			Pattern:      traffic.NewUniform(topo.NumNodes),
-			MaxInjection: true,
-			Seed:         1,
-			Workers:      w,
-		})
+		cfg := mesh16Config()
+		cfg.MaxInjection = true
+		cfg.Workers = w
+		n, err := network.New(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -195,6 +322,19 @@ func benchParallel(workers, warmup, measure int) *parallelReport {
 		start := time.Now()
 		s := n.Measure(measure)
 		return float64(measure) / time.Since(start).Seconds(), s, n.Workers()
+	}
+
+	probe := build(workers)
+	eff := probe.Workers()
+	probe.Close()
+	if eff < 2 {
+		return &parallelReport{
+			Workload: workload,
+			Workers:  eff,
+			Skipped:  true,
+			SkipReason: fmt.Sprintf("worker request %d resolves to %d effective worker on a %d-CPU host; the pool is bypassed and a \"parallel\" timing would be meaningless",
+				workers, eff, runtime.NumCPU()),
+		}
 	}
 
 	serialCycSec, serialSnap, _ := run(1)

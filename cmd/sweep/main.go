@@ -39,6 +39,11 @@ import (
 // reruns the sweep with flit recycling off and asserts byte-identical CSV.
 var disableFlitPool bool
 
+// disableActivityGate is the same kind of hook for the activity-gated
+// tick: the gated-vs-dense determinism test reruns the sweep on the
+// dense loop and asserts byte-identical CSV.
+var disableActivityGate bool
+
 // scheme is one allocator:k coordinate of the grid.
 type scheme struct {
 	alloc string
@@ -193,6 +198,7 @@ func buildJobs(base config.Experiment, schemes []scheme, rates []float64, satura
 					return nil, err
 				}
 				cfg.DisableFlitPool = disableFlitPool
+				cfg.DisableActivityGate = disableActivityGate
 				cfg.Workers = tickWorkers
 				n, err := network.New(cfg)
 				if err != nil {

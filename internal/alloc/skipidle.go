@@ -1,0 +1,87 @@
+package alloc
+
+// This file implements idle fast-forwarding for every built-in
+// allocator. The activity-gated network tick (internal/network) skips
+// Router.Tick entirely while a router holds no flits, but a dense tick
+// is not a pure no-op for every allocator: some advance rotating
+// priority state on every Allocate call even when the request set is
+// empty. SkipIdle compresses k consecutive empty Allocate calls into
+// O(1) state change so a reactivating router can catch its allocator up
+// exactly.
+//
+// What an empty request set touches, per allocator:
+//
+//   - Round-robin arbiter pointers (arb.RoundRobin) move only on Ack,
+//     and no allocator Acks without a grant, so every purely
+//     arbiter-backed allocator (if, if-age, islip, sparoflo, ideal, ap)
+//     is untouched by an idle cycle: SkipIdle is a no-op.
+//   - Wavefront rotates its priority diagonal unconditionally at the
+//     end of every Allocate: k idle cycles advance prio by k (mod n).
+//   - PacketChaining re-records "this cycle's connections" at the end of
+//     every Allocate, so the first idle cycle clears prevOut to -1 for
+//     all rows; further idle cycles change nothing (its chainVC pointers
+//     move only when a chain is taken, and its inner separable allocator
+//     is a no-op as above).
+//
+// TestSkipIdleMatchesEmptyAllocates pins SkipIdle(k) against k literal
+// empty Allocate calls for every registered kind, interleaved with real
+// traffic, so a future allocator change that breaks this equivalence
+// fails the suite rather than silently breaking gated byte-identity.
+
+// IdleSkipper is an optional Allocator extension consumed by the
+// activity-gated tick: SkipIdle(cycles) must leave the allocator in
+// exactly the state `cycles` consecutive Allocate calls with an empty
+// request set would have. Callers guarantee cycles >= 1.
+//
+// Custom allocators (Register) need not implement it; the router falls
+// back to issuing the empty Allocate calls one by one, which is always
+// correct, just not O(1).
+type IdleSkipper interface {
+	SkipIdle(cycles int)
+}
+
+// SkipIdle implements IdleSkipper: an idle cycle drives no arbitration
+// and no Ack, so it leaves no trace.
+func (s *SeparableIF) SkipIdle(int) {}
+
+// SkipIdle implements IdleSkipper: age comparison and tie-break
+// arbitration only run over offered requests.
+func (s *SeparableAge) SkipIdle(int) {}
+
+// SkipIdle implements IdleSkipper: all three arbiter banks Ack only on
+// accepted grants.
+func (s *ISLIP) SkipIdle(int) {}
+
+// SkipIdle implements IdleSkipper: input, output, and port-conflict
+// arbiters all Ack only along the grant path.
+func (s *Sparoflo) SkipIdle(int) {}
+
+// SkipIdle implements IdleSkipper: the output arbiters Ack only on
+// grants.
+func (id *Ideal) SkipIdle(int) {}
+
+// SkipIdle implements IdleSkipper: the matching search visits only
+// offered requests and the VC arbiters Ack only on grants.
+func (a *AugmentingPath) SkipIdle(int) {}
+
+// SkipIdle implements IdleSkipper. Allocate rotates the priority
+// diagonal once per call whether or not anything was requested, so k
+// idle cycles advance it by k.
+func (w *Wavefront) SkipIdle(cycles int) {
+	n := w.cfg.Rows()
+	if w.cfg.Ports > n {
+		n = w.cfg.Ports
+	}
+	w.prio = (w.prio + cycles%n) % n
+}
+
+// SkipIdle implements IdleSkipper. The first empty Allocate records an
+// empty connection set (prevOut all -1) and every subsequent one keeps
+// it; chainVC pointers and the inner separable allocator are untouched
+// by idle cycles.
+func (p *PacketChaining) SkipIdle(cycles int) {
+	for i := range p.prevOut {
+		p.prevOut[i] = -1
+	}
+	p.inner.SkipIdle(cycles)
+}

@@ -191,7 +191,7 @@ func TestRepoTypeChecks(t *testing.T) {
 // Why field.
 func TestShardOwnershipRootsArePinned(t *testing.T) {
 	want := map[string][]string{
-		"internal/network": {"(*Network).shards", "(*Network).routers"},
+		"internal/network": {"(*Network).shards", "(*Network).routers", "(*Network).act", "(*Network).lastTick"},
 		"internal/harness": {"captured results", "captured st", "captured jobErrs"},
 	}
 	if len(lint.ShardOwnershipRoots) != len(want) {
@@ -216,9 +216,9 @@ func TestShardOwnershipRootsArePinned(t *testing.T) {
 }
 
 // TestPoolJobsResolveOnRealTree pins job detection where it matters:
-// the write-effect rules only guard what they can find, so both real
-// Pool.Do sites — the network's method-value shardFn and the harness's
-// job literal — must resolve.
+// the write-effect rules only guard what they can find, so every real
+// Pool.Do site — the network's method-value shard and worklist jobs and
+// the harness's job literal — must resolve.
 func TestPoolJobsResolveOnRealTree(t *testing.T) {
 	mod, err := lint.Load(repoRoot(t))
 	if err != nil {
@@ -226,7 +226,7 @@ func TestPoolJobsResolveOnRealTree(t *testing.T) {
 	}
 	a := lint.NewAnalysis(mod)
 	jobs := a.PoolJobs()
-	want := []string{"func literal in harness.Run", "network.(*Network).runShard"}
+	want := []string{"func literal in harness.Run", "network.(*Network).runShard", "network.(*Network).runActive"}
 	for _, w := range want {
 		found := false
 		for _, j := range jobs {
@@ -239,16 +239,28 @@ func TestPoolJobsResolveOnRealTree(t *testing.T) {
 		}
 	}
 
-	// The shard job's write summary must stay inside the owned roots,
+	// The tick jobs' write summaries must stay inside the owned roots,
 	// and must actually flow through the cone (an empty summary would
 	// mean the analysis lost the writes, not that the code is clean).
-	writes := a.FuncWrites("vix/internal/network", "Network.runShard")
-	if len(writes) == 0 {
-		t.Fatal("runShard has an empty write summary; the write-effect analysis lost its cone")
+	owned := map[string][]string{
+		"Network.runShard":  {"(*Network).shards", "(*Network).routers"},
+		"Network.runActive": {"(*Network).act", "(*Network).routers", "(*Network).lastTick"},
 	}
-	for _, w := range writes {
-		if !strings.HasPrefix(w, "(*Network).shards") && !strings.HasPrefix(w, "(*Network).routers") {
-			t.Errorf("runShard writes %s, outside the declared shard-owned roots; either a race crept in or ShardOwnershipRoots is stale", w)
+	for job, roots := range owned {
+		writes := a.FuncWrites("vix/internal/network", job)
+		if len(writes) == 0 {
+			t.Fatalf("%s has an empty write summary; the write-effect analysis lost its cone", job)
+		}
+		for _, w := range writes {
+			ok := false
+			for _, root := range roots {
+				if strings.HasPrefix(w, root) {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("%s writes %s, outside the declared shard-owned roots; either a race crept in or ShardOwnershipRoots is stale", job, w)
+			}
 		}
 	}
 }

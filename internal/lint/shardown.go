@@ -54,7 +54,9 @@ type OwnershipRoot struct {
 var ShardOwnershipRoots = map[string][]OwnershipRoot{
 	"internal/network": {
 		{Root: "(*Network).shards", Why: "tickShard scratch: runShard(si) writes only shards[si], its own index"},
-		{Root: "(*Network).routers", Why: "router blocks are partitioned by shard ranges; Tick touches only router-local state"},
+		{Root: "(*Network).routers", Why: "router blocks are partitioned by shard ranges (dense) or by worklist entries naming distinct routers (gated); Tick and SkipIdle touch only router-local state"},
+		{Root: "(*Network).act", Why: "gated worklist scratch: runActive(i) writes only the per-index slots act.ems/creds/delta/quiesced[i], its own index"},
+		{Root: "(*Network).lastTick", Why: "runActive(i) writes only lastTick[act.work[i]], and worklist entries are distinct router indices handed out once each by Pool.Do"},
 	},
 	"internal/harness": {
 		{Root: "captured results", Why: "results[i] is the per-job slot; Pool.Do hands out each index exactly once"},

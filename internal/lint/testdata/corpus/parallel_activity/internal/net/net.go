@@ -1,0 +1,33 @@
+// Package net seeds the activity-bitset race the shard-ownership rule
+// exists to catch: a phase-A pool job clearing a word of the shared
+// activity bitset. Two jobs whose routers share a word would race on the
+// read-modify-write; bit clears must happen in the phase-B merge, on the
+// stepping goroutine, or the root must be declared (and justified) in
+// ShardOwnershipRoots.
+package net
+
+import "fix/internal/sim"
+
+// Net is a toy network with packed activity words and per-router ticks.
+type Net struct {
+	act   []uint64
+	ticks []int
+}
+
+// New sizes the activity words for n routers.
+func New(n int) *Net {
+	return &Net{act: make([]uint64, (n+63)/64), ticks: make([]int, n)}
+}
+
+// runRouter is the phase-A job: the per-router tick write is fine if
+// declared, but clearing the router's activity bit mutates a word shared
+// with 63 other routers.
+func (n *Net) runRouter(r int) {
+	n.ticks[r]++
+	n.act[r>>6] &^= 1 << (uint(r) & 63)
+}
+
+// Step fans the tick out across the pool.
+func (n *Net) Step(p *sim.Pool) {
+	p.Do(len(n.ticks), n.runRouter)
+}

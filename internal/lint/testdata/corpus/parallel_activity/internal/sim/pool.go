@@ -1,0 +1,17 @@
+// Package sim mirrors the real scratch pool's Do shape, which the
+// parallel rules match structurally.
+package sim
+
+// Pool fans a job out over indices (serially here; the shape is what
+// the corpus exercises).
+type Pool struct{ n int }
+
+// NewPool sizes the pool.
+func NewPool(n int) *Pool { return &Pool{n: n} }
+
+// Do runs fn once per index.
+func (p *Pool) Do(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

@@ -194,6 +194,53 @@ func TestTagRoundTrip(t *testing.T) {
 	}
 }
 
+// The manycore workload advertises node activity (Generate is a pure
+// outbox drain), letting the gated tick skip generation for idle cores.
+var _ network.NodeActivity = (*System)(nil)
+
+// TestActivityGateMatchesDense pins the NodeActivity hint end to end:
+// the gated network (default), which consults System.NodeActive and
+// skips idle cores' Generate calls entirely, must reproduce the dense
+// network's per-core IPC and memory latency exactly.
+func TestActivityGateMatchesDense(t *testing.T) {
+	cfg := DefaultConfig()
+	run := func(disableGate bool) ([]float64, float64) {
+		sys, err := New(cfg, uniformApps("Gems", 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo := topology.NewMesh(8, 8)
+		n, err := network.New(network.Config{
+			Topology: topo,
+			Router: router.Config{
+				Ports: topo.Radix, VCs: 6, VirtualInputs: 2, BufDepth: 5,
+				AllocKind: alloc.KindSeparableIF, Policy: router.PolicyBalanced,
+			},
+			Workload:            sys,
+			Seed:                1,
+			DisableActivityGate: disableGate,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run(4000)
+		return sys.IPC(4000), sys.AvgMemLatency()
+	}
+	gatedIPC, gatedLat := run(false)
+	denseIPC, denseLat := run(true)
+	if gatedLat != denseLat {
+		t.Fatalf("memory latency diverged: gated %v dense %v", gatedLat, denseLat)
+	}
+	if gatedLat <= 0 {
+		t.Fatal("latency accounting empty; workload broken")
+	}
+	for i := range gatedIPC {
+		if gatedIPC[i] != denseIPC[i] {
+			t.Fatalf("core %d IPC diverged: gated %v dense %v", i, gatedIPC[i], denseIPC[i])
+		}
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	cfg := DefaultConfig()
 	run := func() []float64 {

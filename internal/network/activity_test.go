@@ -1,0 +1,151 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+
+	"vix/internal/alloc"
+	"vix/internal/router"
+	"vix/internal/stats"
+	"vix/internal/topology"
+	"vix/internal/traffic"
+)
+
+// hintedBurst is burstWorkload plus a NodeActivity hint: past the cutoff
+// cycle Generate returns nil without touching the RNG, so NodeActive may
+// legally report false and let the gated tick skip generation entirely
+// during the drain phase — the hint path's sharpest test, because any
+// skipped side effect would desynchronize the drain.
+type hintedBurst struct {
+	burstWorkload
+}
+
+func (w *hintedBurst) NodeActive(node int, cycle int64) bool {
+	return cycle < w.until
+}
+
+// activityCase is one gated-vs-dense lockstep scenario.
+type activityCase struct {
+	name     string
+	topo     func() *topology.Topology
+	kind     alloc.Kind
+	k        int
+	saturate bool // MaxInjection instead of a low Bernoulli rate
+	hinted   bool // drive a NodeActivity-hinted burst workload
+}
+
+// runActivity runs one scenario for the given worker count with the gate
+// on or off and returns the full ejection sequence plus the snapshot.
+func runActivity(t *testing.T, tc activityCase, workers int, disableGate bool, cycles int) ([]ejectRecord, stats.Snapshot) {
+	t.Helper()
+	topo := tc.topo()
+	policy := router.PolicyMaxFree
+	if tc.k > 1 {
+		policy = router.PolicyBalanced
+	}
+	cfg := meshConfig(topo, tc.kind, tc.k, policy)
+	cfg.Seed = 11
+	cfg.Workers = workers
+	cfg.DisableActivityGate = disableGate
+	switch {
+	case tc.hinted:
+		cfg.Pattern, cfg.InjectionRate = nil, 0
+		cfg.Workload = &hintedBurst{burstWorkload{
+			until: int64(cycles) / 4, rate: 0.1,
+			pattern: traffic.NewUniform(topo.NumNodes), size: 4,
+		}}
+	case tc.saturate:
+		cfg.InjectionRate, cfg.MaxInjection = 0, true
+	default:
+		cfg.InjectionRate = 0.01 // low load: most routers idle most cycles
+	}
+	var ejected []ejectRecord
+	cfg.OnEject = func(f *router.Flit) {
+		ejected = append(ejected, ejectRecord{
+			packetID: f.PacketID, seq: f.Seq, src: f.Src, dst: f.Dst,
+			createCycle: f.CreateCycle, ejectCycle: f.EjectCycle, hops: f.Hops,
+		})
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.Run(cycles)
+	return ejected, n.Collector().Snapshot()
+}
+
+// TestActivityGateLockstepWithDense is the tentpole guarantee of the
+// activity-gated tick: for every topology, allocator, load point, and
+// worker count, the gated network produces bit-identical statistics and
+// the exact same ejection sequence as the dense loop. Gating is a
+// wall-clock knob, never a physics knob — exactly the standard the
+// parallel tick is held to.
+func TestActivityGateLockstepWithDense(t *testing.T) {
+	cases := []activityCase{
+		{name: "mesh8x8_if_low", topo: func() *topology.Topology { return topology.NewMesh(8, 8) },
+			kind: alloc.KindSeparableIF, k: 2},
+		{name: "mesh8x8_wavefront_sat", topo: func() *topology.Topology { return topology.NewMesh(8, 8) },
+			kind: alloc.KindWavefront, k: 1, saturate: true},
+		{name: "mesh8x8_pc_low", topo: func() *topology.Topology { return topology.NewMesh(8, 8) },
+			kind: alloc.KindPacketChaining, k: 2},
+		{name: "fbfly2x2c4_if_low", topo: func() *topology.Topology { return topology.NewFBfly(2, 2, 4) },
+			kind: alloc.KindSeparableIF, k: 2},
+		{name: "cmesh2x2c4_wavefront_hinted", topo: func() *topology.Topology { return topology.NewCMesh(2, 2, 4) },
+			kind: alloc.KindWavefront, k: 2, hinted: true},
+	}
+	const cycles = 2000
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// The reference is the dense serial loop — the physics the
+			// repo's goldens were recorded against.
+			refEjects, refSnap := runActivity(t, tc, 1, true, cycles)
+			if len(refEjects) == 0 {
+				t.Fatal("dense reference run ejected nothing; workload broken")
+			}
+			for _, workers := range []int{1, 4} {
+				ejects, snap := runActivity(t, tc, workers, false, cycles)
+				if !reflect.DeepEqual(snap, refSnap) {
+					t.Errorf("gated workers=%d snapshot diverged:\n got %+v\nwant %+v", workers, snap, refSnap)
+				}
+				if !reflect.DeepEqual(ejects, refEjects) {
+					for i := range refEjects {
+						if i >= len(ejects) || ejects[i] != refEjects[i] {
+							t.Errorf("gated workers=%d ejection sequence diverged at index %d (of %d):\n got %+v\nwant %+v",
+								workers, i, len(refEjects), ejects[i], refEjects[i])
+							break
+						}
+					}
+					if len(ejects) != len(refEjects) {
+						t.Errorf("gated workers=%d ejected %d flits, want %d", workers, len(ejects), len(refEjects))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestActivityGateSkipsIdleRouters checks the gate actually gates: at low
+// load on a 16x16 mesh, the number of router ticks executed must be far
+// below routers x cycles, or the worklist is pure overhead.
+func TestActivityGateSkipsIdleRouters(t *testing.T) {
+	topo := topology.NewMesh(16, 16)
+	cfg := meshConfig(topo, alloc.KindSeparableIF, 2, router.PolicyBalanced)
+	cfg.InjectionRate = 0.005
+	cfg.Seed = 3
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	const cycles = 1000
+	n.Run(cycles)
+	dense := int64(topo.NumRouters) * cycles
+	got := n.RouterTicks()
+	if got == 0 {
+		t.Fatal("no router ticks recorded; counter broken")
+	}
+	if got > dense/2 {
+		t.Errorf("gated run executed %d router ticks of %d dense; the gate is not skipping idle routers", got, dense)
+	}
+}

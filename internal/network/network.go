@@ -8,6 +8,7 @@ package network
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"vix/internal/alloc"
 	"vix/internal/router"
@@ -54,6 +55,19 @@ type Ticker interface {
 	Tick(cycle int64)
 }
 
+// NodeActivity is an optional Workload extension the activity-gated tick
+// consults: NodeActive reports whether Generate(node, cycle, rng) could
+// do anything this cycle. Returning false is a promise that the Generate
+// call would return no packets, consume no randomness, and have no side
+// effects, so the gated tick skips it without changing behaviour. The
+// statistical traffic process has no such hint — it consumes one RNG
+// draw per node per cycle, so generation stays dense without a Workload
+// — but trace-driven workloads like the manycore system implement it as
+// a queue-empty test, which is where large mostly-idle networks win.
+type NodeActivity interface {
+	NodeActive(node int, cycle int64) bool
+}
+
 // Config describes one network simulation.
 type Config struct {
 	Topology *topology.Topology
@@ -88,6 +102,14 @@ type Config struct {
 	// the determinism regression test runs pooled and fresh simulations
 	// side by side and asserts identical output.
 	DisableFlitPool bool
+
+	// DisableActivityGate turns off the activity-gated tick and runs the
+	// classic dense loops that visit every router and NI each cycle. The
+	// gated tick is byte-identical to the dense one by construction (see
+	// DESIGN.md section 15); this escape hatch keeps the dense path
+	// testable, and the gated-vs-dense lockstep tests run both side by
+	// side and assert identical snapshots and ejection sequences.
+	DisableActivityGate bool
 
 	// HopDelay is the cycles from a switch-allocation win at one router
 	// to eligibility at the next (SA + switch traversal + link
@@ -253,12 +275,32 @@ type Network struct {
 
 	lastEjectCycle int64 // watchdog: last cycle any flit ejected
 
+	// Activity-gate state (nil when Config.DisableActivityGate): packed
+	// activity words for routers (buffered flits, or a delivery, credit,
+	// or injection this cycle) and for NIs with queued flits, plus the
+	// cycle each router last ticked so reactivation can fast-forward the
+	// skipped idle span (Router.SkipIdle). The invariant every activation
+	// source upholds: any state change that can make a router do work
+	// next cycle sets its bit before the router pass runs.
+	actR     sim.Bitset
+	actNI    sim.Bitset
+	lastTick []int64
+	nodeAct  NodeActivity // non-nil when the workload provides the hint
+
+	// routerTicks counts Router.Tick calls actually executed, the work
+	// the gate exists to avoid; tests and benchmarks compare it against
+	// routers x cycles to prove idle routers really were skipped.
+	routerTicks int64
+
 	// Parallel tick state (nil/empty when Workers <= 1): the shard pool,
 	// the block partition of routers, and the phase-A function value,
-	// built once so the per-cycle fan-out allocates nothing.
+	// built once so the per-cycle fan-out allocates nothing. With the
+	// activity gate on, act replaces shards: the pool fans out over the
+	// cycle's worklist of active routers instead of the full range.
 	pool    *sim.Pool
 	shards  []tickShard
 	shardFn func(int)
+	act     activeScratch
 }
 
 // New builds a network simulation from cfg.
@@ -299,6 +341,17 @@ func New(cfg Config) (*Network, error) {
 	n.nis = make([]*ni, topo.NumNodes)
 	for node := 0; node < topo.NumNodes; node++ {
 		n.nis[node] = &ni{node: node, rng: root.Fork(uint64(node)), curVC: -1}
+	}
+	if !cfg.DisableActivityGate {
+		n.actR = sim.NewBitset(topo.NumRouters)
+		n.actNI = sim.NewBitset(topo.NumNodes)
+		n.lastTick = make([]int64, topo.NumRouters)
+		for i := range n.lastTick {
+			n.lastTick[i] = -1
+		}
+		if na, ok := cfg.Workload.(NodeActivity); ok {
+			n.nodeAct = na
+		}
 	}
 	n.initParallel()
 	return n, nil
@@ -359,18 +412,38 @@ func (n *Network) recycleFlit(f *router.Flit) {
 
 // Step advances the simulation one cycle.
 //
+// With the activity gate on (the default), the per-cycle loops over all
+// routers and NIs are replaced by walks over packed activity bitsets,
+// visiting the same indices the dense loops would — in the same
+// ascending order, which is what keeps RNG streams, statistics, and CSV
+// output byte-identical (DESIGN.md section 15). Every delivery, credit,
+// and injection marks its destination router's bit before the router
+// pass runs; a router whose Tick reports quiescence has its bit cleared
+// and is fast-forwarded with SkipIdle when it next reactivates.
+//
 //vixlint:hot
 func (n *Network) Step() {
 	slot := int(n.cycle % int64(n.qlen))
+	gate := n.actR != nil
 
 	// Deliver link events scheduled for this cycle.
 	for _, d := range n.flitQ[slot] {
 		n.routers[d.router].DeliverFlit(d.port, d.vc, d.flit)
 		n.col.BufferWrite()
+		if gate {
+			n.actR.Set(d.router)
+		}
 	}
 	n.flitQ[slot] = n.flitQ[slot][:0]
 	for _, d := range n.credQ[slot] {
-		n.routers[d.router].DeliverCredit(d.outPort, d.vc)
+		rt := n.routers[d.router]
+		rt.DeliverCredit(d.outPort, d.vc)
+		// A credit is applied eagerly above; it only creates work — and
+		// so only needs to wake the router — if flits are buffered. An
+		// empty router's tick is the empty tick SkipIdle replays.
+		if gate && rt.Busy() {
+			n.actR.Set(d.router)
+		}
 	}
 	n.credQ[slot] = n.credQ[slot][:0]
 	for _, f := range n.ejectQ[slot] {
@@ -383,19 +456,47 @@ func (n *Network) Step() {
 		t.Tick(n.cycle)
 	}
 
-	// Traffic generation and injection.
-	for _, nif := range n.nis {
-		n.generate(nif)
-		n.inject(nif)
+	// Traffic generation and injection. The dense path interleaves
+	// generate and inject per node; the gated path generates first (for
+	// all nodes, or only workload-active ones under the NodeActivity
+	// hint) and then injects only from NIs with queued flits. The split
+	// is behaviour-preserving: generation touches only per-NI state, the
+	// shared packet-ID counter, and the flit pool — all in the same
+	// ascending node order either way — and injection at one node never
+	// observes another node's injection (distinct local ports).
+	switch {
+	case !gate:
+		for _, nif := range n.nis {
+			n.generate(nif)
+			n.inject(nif)
+		}
+	case n.nodeAct == nil:
+		for _, nif := range n.nis {
+			n.generate(nif)
+		}
+		n.injectActive()
+	default:
+		for _, nif := range n.nis {
+			if n.nodeAct.NodeActive(nif.node, n.cycle) {
+				n.generate(nif)
+			}
+		}
+		n.injectActive()
 	}
 
-	// Router pipelines: serial loop, or the two-phase sharded tick when
-	// Workers > 1 (parallel.go) — byte-identical by construction.
-	if n.pool != nil {
+	// Router pipelines: dense serial loop, dense sharded tick, or the
+	// gated serial/worklist variants — byte-identical by construction.
+	switch {
+	case gate && n.pool != nil:
+		n.tickActiveParallel()
+	case gate:
+		n.tickActiveSerial()
+	case n.pool != nil:
 		n.tickRoutersParallel()
-	} else {
+		n.routerTicks += int64(len(n.routers))
+	default:
 		for r, rt := range n.routers {
-			ems, credits := rt.Tick()
+			ems, credits, _ := rt.Tick()
 			for _, e := range ems {
 				n.forward(r, e)
 			}
@@ -403,6 +504,7 @@ func (n *Network) Step() {
 				n.scheduleCredit(r, cm)
 			}
 		}
+		n.routerTicks += int64(len(n.routers))
 	}
 
 	n.col.Tick()
@@ -413,6 +515,46 @@ func (n *Network) Step() {
 			n.cfg.DeadlockCycles, n.inFlight, n.cycle))
 	}
 	n.cycle++
+}
+
+// injectActive drains one flit from every NI with queued flits, walking
+// the NI activity words in ascending node order — the same order the
+// dense loop calls inject.
+func (n *Network) injectActive() {
+	for wi, w := range n.actNI {
+		for ; w != 0; w &= w - 1 {
+			n.inject(n.nis[wi<<6+bits.TrailingZeros64(w)])
+		}
+	}
+}
+
+// tickActiveSerial ticks this cycle's active routers in ascending index
+// order, fast-forwarding each across the idle span since it last ticked
+// and clearing the bits of routers that quiesced. Activations during the
+// walk only target future cycles (the delayed wheels), so iterating
+// copied words is exact.
+func (n *Network) tickActiveSerial() {
+	for wi, w := range n.actR {
+		for ; w != 0; w &= w - 1 {
+			r := wi<<6 + bits.TrailingZeros64(w)
+			rt := n.routers[r]
+			if skip := n.cycle - n.lastTick[r] - 1; skip > 0 {
+				rt.SkipIdle(int(skip))
+			}
+			n.lastTick[r] = n.cycle
+			n.routerTicks++
+			ems, credits, quiesced := rt.Tick()
+			for _, e := range ems {
+				n.forward(r, e)
+			}
+			for _, cm := range credits {
+				n.scheduleCredit(r, cm)
+			}
+			if quiesced {
+				n.actR.Clear(r)
+			}
+		}
+	}
 }
 
 // forward routes an emission from router r onto its link or to ejection.
@@ -522,6 +664,9 @@ func (n *Network) enqueuePacket(nif *ni, spec PacketSpec) {
 		nif.push(f)
 	}
 	nif.backlog++
+	if n.actNI != nil {
+		n.actNI.Set(nif.node)
+	}
 }
 
 // inject moves at most one flit from nif's source queue into the local
@@ -555,6 +700,12 @@ func (n *Network) inject(nif *ni) {
 	n.col.BufferWrite()
 	n.inFlight++
 	nif.pop()
+	if n.actR != nil {
+		n.actR.Set(r)
+		if nif.pending() == 0 {
+			n.actNI.Clear(nif.node)
+		}
+	}
 	if f.Type.IsHead() {
 		f.InjectCycle = n.cycle
 		n.col.PacketInjected(f.PacketSize)
@@ -612,3 +763,8 @@ func (n *Network) Measure(cycles int) stats.Snapshot {
 	n.Run(cycles)
 	return n.col.Snapshot()
 }
+
+// RouterTicks returns the number of Router.Tick calls executed so far.
+// With the activity gate on this is the work actually done; the dense
+// loop always reports routers x cycles.
+func (n *Network) RouterTicks() int64 { return n.routerTicks }

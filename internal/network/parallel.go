@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 
 	"vix/internal/router"
@@ -53,6 +54,26 @@ type tickShard struct {
 	delta stats.Delta          // activity counters accumulated in phase A
 }
 
+// activeScratch is the phase-A state of the gated parallel tick: the
+// cycle's worklist of active router indices, its contiguous split into
+// per-worker segments, and per-index result slots. Pool.Do hands each
+// segment to exactly one worker; segments partition the worklist and
+// worklist entries name distinct routers, so job si owns its slice of
+// index slots and routers exclusively — the same confinement argument as
+// tickShard, with the per-cycle worklist split replacing the static
+// block partition. Everything is sized once in initParallel; the
+// per-cycle rebuilds of work and seg reuse their backing arrays, so the
+// steady state allocates nothing.
+type activeScratch struct {
+	work     []int32              // active router indices, ascending
+	seg      []int32              // segment si covers work[seg[si]:seg[si+1]]
+	ems      [][]router.Emission  // per worklist index: Tick's emission scratch
+	creds    [][]router.CreditMsg // per worklist index: Tick's credit scratch
+	delta    []stats.Delta        // per segment: phase-A activity counters
+	quiesced []bool               // per worklist index: Tick reported quiescence
+	fn       func(int)            // runActive, bound once
+}
+
 // resolveWorkers maps Config.Workers onto an effective worker count:
 // 0 is the serial loop, negative is GOMAXPROCS, positive is taken as
 // given. Any result above 1 makes the network park pool goroutines
@@ -81,8 +102,24 @@ func (n *Network) initParallel() {
 		return
 	}
 	n.pool = sim.NewPool(workers)
-	n.shards = make([]tickShard, workers)
 	nr := len(n.routers)
+	if n.actR != nil {
+		// Gated: the pool fans out over contiguous segments of the
+		// per-cycle worklist of active routers, instead of static shards.
+		n.act = activeScratch{
+			work:     make([]int32, 0, nr),
+			seg:      make([]int32, 0, workers+1),
+			ems:      make([][]router.Emission, nr),
+			creds:    make([][]router.CreditMsg, nr),
+			delta:    make([]stats.Delta, workers),
+			quiesced: make([]bool, nr),
+		}
+		// Built once: handing a fresh method value to Pool.Do every cycle
+		// would allocate.
+		n.act.fn = n.runActive
+		return
+	}
+	n.shards = make([]tickShard, workers)
 	for i := range n.shards {
 		lo, hi := nr*i/workers, nr*(i+1)/workers
 		n.shards[i] = tickShard{
@@ -91,8 +128,7 @@ func (n *Network) initParallel() {
 			creds: make([][]router.CreditMsg, hi-lo),
 		}
 	}
-	// Built once: handing a fresh method value to Pool.Do every cycle
-	// would allocate.
+	// Built once, as above.
 	n.shardFn = n.runShard
 }
 
@@ -106,7 +142,7 @@ func (n *Network) runShard(si int) {
 	s := &n.shards[si]
 	var d stats.Delta
 	for r := s.lo; r < s.hi; r++ {
-		ems, creds := n.routers[r].Tick()
+		ems, creds, _ := n.routers[r].Tick()
 		j := r - s.lo
 		s.ems[j], s.creds[j] = ems, creds
 		for _, e := range ems {
@@ -120,6 +156,82 @@ func (n *Network) runShard(si int) {
 		}
 	}
 	s.delta = d
+}
+
+// runActive is phase A of the gated parallel tick for one worklist
+// segment: fast-forward each of the segment's routers across its idle
+// span, tick it, keep the emission and credit slice headers and the
+// quiescence verdict in the worklist index's own slots, pre-compute
+// lookahead routes for link emissions, and accumulate the activity
+// counters the serial loop's forward() would have recorded.
+//
+//vixlint:hot
+func (n *Network) runActive(si int) {
+	var d stats.Delta
+	for i := n.act.seg[si]; i < n.act.seg[si+1]; i++ {
+		r := int(n.act.work[i])
+		rt := n.routers[r]
+		if skip := n.cycle - n.lastTick[r] - 1; skip > 0 {
+			rt.SkipIdle(int(skip))
+		}
+		n.lastTick[r] = n.cycle
+		ems, creds, quiesced := rt.Tick()
+		n.act.ems[i], n.act.creds[i], n.act.quiesced[i] = ems, creds, quiesced
+		for _, e := range ems {
+			d.BufferReads++
+			d.XbarTraversals++
+			conn := &n.topo.Conn[r][e.OutPort]
+			if conn.Kind == topology.Link {
+				d.LinkTraversals++
+				e.Flit.Route = n.route(n.topo, conn.PeerRouter, e.Flit.Dst)
+			}
+		}
+	}
+	n.act.delta[si] = d
+}
+
+// tickActiveParallel builds the cycle's worklist from the activity words
+// (ascending router order), splits it into one contiguous segment per
+// worker, runs phase A across the pool, and merges in worklist — hence
+// router-index — order on the stepping goroutine, clearing the bits of
+// routers that quiesced.
+func (n *Network) tickActiveParallel() {
+	work := n.act.work[:0]
+	for wi, w := range n.actR {
+		for ; w != 0; w &= w - 1 {
+			work = append(work, int32(wi<<6+bits.TrailingZeros64(w)))
+		}
+	}
+	n.act.work = work
+	n.routerTicks += int64(len(work))
+	k := n.pool.Workers()
+	if k > len(work) {
+		k = len(work)
+	}
+	if k == 0 {
+		return
+	}
+	seg := n.act.seg[:0]
+	for i := 0; i <= k; i++ {
+		seg = append(seg, int32(len(work)*i/k))
+	}
+	n.act.seg = seg
+	n.pool.Do(k, n.act.fn)
+	for si := 0; si < k; si++ {
+		n.col.Merge(n.act.delta[si])
+		for i := seg[si]; i < seg[si+1]; i++ {
+			r := int(work[i])
+			for _, e := range n.act.ems[i] {
+				n.deliverEmission(r, e)
+			}
+			for _, cm := range n.act.creds[i] {
+				n.scheduleCredit(r, cm)
+			}
+			if n.act.quiesced[i] {
+				n.actR.Clear(r)
+			}
+		}
+	}
 }
 
 // tickRoutersParallel runs phase A across the pool, then merges every

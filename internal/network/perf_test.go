@@ -17,13 +17,21 @@ func saturatedMesh(tb testing.TB) *Network {
 
 // saturatedMeshWorkers is saturatedMesh with a parallel-tick worker count.
 func saturatedMeshWorkers(tb testing.TB, workers int) *Network {
+	return perfMesh(tb, workers, false, 0)
+}
+
+// perfMesh builds the perf-suite network: an 8x8 VIX mesh, saturated when
+// rate is 0 (MaxInjection) or at the given Bernoulli rate otherwise, with
+// the requested worker count and activity-gate setting.
+func perfMesh(tb testing.TB, workers int, disableGate bool, rate float64) *Network {
 	tb.Helper()
 	topo := topology.NewMesh(8, 8)
 	cfg := meshConfig(topo, alloc.KindSeparableIF, 2, router.PolicyBalanced)
-	cfg.InjectionRate = 0
-	cfg.MaxInjection = true
+	cfg.InjectionRate = rate
+	cfg.MaxInjection = rate == 0
 	cfg.Seed = 1
 	cfg.Workers = workers
+	cfg.DisableActivityGate = disableGate
 	n, err := New(cfg)
 	if err != nil {
 		tb.Fatal(err)
@@ -34,46 +42,59 @@ func saturatedMeshWorkers(tb testing.TB, workers int) *Network {
 // TestSteadyStateZeroAllocs pins the headline guarantee of the memory
 // discipline work: once the scratch buffers and the flit pool have grown
 // to their high-water marks, Network.Step performs zero heap allocations
-// per cycle — on the serial loop and on the sharded parallel tick alike
-// (shards store Tick's slice headers and the pool reuses parked workers,
-// so neither phase allocates). The run is fully deterministic (fixed
-// seed), so this either always passes or always fails for a given code
-// state.
+// per cycle — on the serial loop and on the sharded parallel tick, with
+// the activity gate on and off (the worklist rebuild reuses its backing
+// array, shards and worklist slots store Tick's slice headers, and the
+// pool reuses parked workers, so no phase allocates). The run is fully
+// deterministic (fixed seed), so this either always passes or always
+// fails for a given code state.
 func TestSteadyStateZeroAllocs(t *testing.T) {
 	for _, workers := range []int{1, 4} {
-		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
-			n := saturatedMeshWorkers(t, workers)
-			defer n.Close()
-			n.Run(8000)
-			n.Collector().Reset()
-			avg := testing.AllocsPerRun(200, func() { n.Step() })
-			if avg != 0 {
-				t.Fatalf("Network.Step allocates %v times per cycle in steady state; want 0", avg)
+		for _, disableGate := range []bool{false, true} {
+			name := fmt.Sprintf("workers%d_gate_on", workers)
+			if disableGate {
+				name = fmt.Sprintf("workers%d_gate_off", workers)
 			}
-		})
+			t.Run(name, func(t *testing.T) {
+				n := perfMesh(t, workers, disableGate, 0)
+				defer n.Close()
+				n.Run(8000)
+				n.Collector().Reset()
+				avg := testing.AllocsPerRun(200, func() { n.Step() })
+				if avg != 0 {
+					t.Fatalf("Network.Step allocates %v times per cycle in steady state; want 0", avg)
+				}
+			})
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocsLowLoad repeats the zero-allocation pin at low
+// load, where the gated tick runs mostly empty worklists — the regime the
+// gate exists for must not pay for its speed with per-cycle garbage.
+func TestSteadyStateZeroAllocsLowLoad(t *testing.T) {
+	n := perfMesh(t, 1, false, 0.01)
+	defer n.Close()
+	n.Run(8000)
+	n.Collector().Reset()
+	avg := testing.AllocsPerRun(200, func() { n.Step() })
+	if avg != 0 {
+		t.Fatalf("gated low-load Network.Step allocates %v times per cycle in steady state; want 0", avg)
 	}
 }
 
 // BenchmarkNetworkStep measures the serial cycle loop's cost under the
-// saturated VIX workload; the allocation counter must stay at 0.
+// saturated VIX workload, gate on and off; the allocation counter must
+// stay at 0. At saturation every router is active every cycle, so this
+// doubles as the gate's worst-case overhead measurement.
 func BenchmarkNetworkStep(b *testing.B) {
-	n := saturatedMesh(b)
-	n.Run(3000)
-	n.Collector().Reset()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		n.Step()
-	}
-}
-
-// BenchmarkNetworkStepParallel measures the sharded tick at a spread of
-// worker counts on the same workload; compare against BenchmarkNetworkStep
-// for parallel efficiency. Allocation counters must stay at 0 here too.
-func BenchmarkNetworkStepParallel(b *testing.B) {
-	for _, workers := range []int{2, 4, 8} {
-		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
-			n := saturatedMeshWorkers(b, workers)
+	for _, disableGate := range []bool{false, true} {
+		name := "gate_on"
+		if disableGate {
+			name = "gate_off"
+		}
+		b.Run(name, func(b *testing.B) {
+			n := perfMesh(b, 1, disableGate, 0)
 			defer n.Close()
 			n.Run(3000)
 			n.Collector().Reset()
@@ -83,5 +104,54 @@ func BenchmarkNetworkStepParallel(b *testing.B) {
 				n.Step()
 			}
 		})
+	}
+}
+
+// BenchmarkNetworkStepLowLoad measures the regime the activity gate
+// targets: 8x8 at 1% injection, where most routers are idle most cycles.
+// The gate_on/gate_off ratio here is the headline speedup.
+func BenchmarkNetworkStepLowLoad(b *testing.B) {
+	for _, disableGate := range []bool{false, true} {
+		name := "gate_on"
+		if disableGate {
+			name = "gate_off"
+		}
+		b.Run(name, func(b *testing.B) {
+			n := perfMesh(b, 1, disableGate, 0.01)
+			defer n.Close()
+			n.Run(3000)
+			n.Collector().Reset()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkNetworkStepParallel measures the worklist (gate_on) and
+// sharded (gate_off) parallel ticks at a spread of worker counts on the
+// saturated workload; compare against BenchmarkNetworkStep for parallel
+// efficiency. Allocation counters must stay at 0 here too.
+func BenchmarkNetworkStepParallel(b *testing.B) {
+	for _, workers := range []int{2, 4, 8} {
+		for _, disableGate := range []bool{false, true} {
+			name := fmt.Sprintf("workers%d_gate_on", workers)
+			if disableGate {
+				name = fmt.Sprintf("workers%d_gate_off", workers)
+			}
+			b.Run(name, func(b *testing.B) {
+				n := perfMesh(b, workers, disableGate, 0)
+				defer n.Close()
+				n.Run(3000)
+				n.Collector().Reset()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					n.Step()
+				}
+			})
+		}
 	}
 }

@@ -100,6 +100,11 @@ type Router struct {
 	in  [][]*inputVC // [port][vc]
 	out []*outputPort
 
+	// occ counts buffered flits across all input VCs, maintained
+	// incrementally (DeliverFlit adds, grant departures subtract) so the
+	// activity-gated tick can test quiescence in O(1).
+	occ int
+
 	vaOffset int // rotating VC-allocation priority
 
 	// justAllocated marks input VCs whose output VC was granted in the
@@ -176,6 +181,7 @@ func (r *Router) DeliverFlit(port, vc int, f *Flit) {
 	}
 	f.VC = vc
 	ivc.buf = append(ivc.buf, f)
+	r.occ++
 }
 
 // DeliverCredit returns one credit for downstream VC vc of outPort.
@@ -187,6 +193,14 @@ func (r *Router) DeliverCredit(outPort, vc int) {
 	op.credits[vc]++
 }
 
+// Busy reports whether the router holds any buffered flits. An idle
+// router's Tick is exactly the empty tick SkipIdle replays — no
+// emissions, no credits, no requests to the allocator — so the network's
+// activity gate only needs to wake a router on a credit when Busy is
+// true: credits are applied eagerly above, and a credit at an empty
+// router cannot create work until a flit arrives (which sets the bit).
+func (r *Router) Busy() bool { return r.occ > 0 }
+
 // BufferSpace returns the free flit slots of input (port, vc); the
 // network interface uses it to gate injection at local ports.
 func (r *Router) BufferSpace(port, vc int) int {
@@ -194,12 +208,17 @@ func (r *Router) BufferSpace(port, vc int) int {
 }
 
 // Occupancy returns the number of buffered flits across all input VCs.
+// It recounts rather than trusting the incremental counter; tests use
+// the pair to cross-check each other.
 func (r *Router) Occupancy() int {
 	n := 0
 	for _, port := range r.in {
 		for _, ivc := range port {
 			n += len(ivc.buf)
 		}
+	}
+	if n != r.occ {
+		panic(fmt.Sprintf("router %d: occupancy counter %d but %d flits buffered", r.id, r.occ, n))
 	}
 	return n
 }
@@ -209,13 +228,17 @@ func (r *Router) Credits(outPort, vc int) int { return r.out[outPort].credits[vc
 
 // Tick advances the router one cycle: VC allocation, then switch
 // allocation, then switch traversal of the winners. It returns the flits
-// leaving through output ports and the credits freed at input ports.
+// leaving through output ports, the credits freed at input ports, and
+// whether the router quiesced — no flits remain buffered, so until the
+// next delivery every further tick would be the idle no-op SkipIdle can
+// replay. The activity-gated network tick clears a quiesced router's
+// activity bit and stops ticking it.
 //
 // Both returned slices are router-owned scratch, valid only until the
 // next Tick call; callers must consume (or copy) them within the cycle.
 //
 //vixlint:hot
-func (r *Router) Tick() (ems []Emission, credits []CreditMsg) {
+func (r *Router) Tick() (ems []Emission, credits []CreditMsg, quiesced bool) {
 	r.ems = r.ems[:0]
 	r.creds = r.creds[:0]
 	if r.cfg.NonSpeculative {
@@ -230,6 +253,7 @@ func (r *Router) Tick() (ems []Emission, credits []CreditMsg) {
 		ivc.wait = 0
 		f := ivc.buf[0]
 		ivc.buf = ivc.buf[:copy(ivc.buf, ivc.buf[1:])]
+		r.occ--
 		op := r.out[g.OutPort]
 		if op.info.Kind == topology.Link {
 			op.credits[ivc.ovc]--
@@ -250,7 +274,37 @@ func (r *Router) Tick() (ems []Emission, credits []CreditMsg) {
 			r.creds = append(r.creds, CreditMsg{Port: g.Port, VC: g.VC})
 		}
 	}
-	return r.ems, r.creds
+	return r.ems, r.creds, r.occ == 0
+}
+
+// SkipIdle fast-forwards the router across cycles consecutive ticks
+// during which it held no buffered flits. An idle Tick emits nothing and
+// frees no credits; its only persistent effects are the VC-allocation
+// priority rotation, the clearing of the NonSpeculative just-allocated
+// marks, and whatever the allocator does with an empty request set —
+// which built-in allocators compress to O(1) via alloc.IdleSkipper. A
+// custom allocator without SkipIdle gets the literal empty Allocate
+// calls, so gated and dense runs stay byte-identical for any allocator.
+//
+// The caller asserts the router was empty for the skipped span; current
+// buffer contents are irrelevant (the activity-gated tick calls SkipIdle
+// at reactivation, after the cycle's deliveries have already landed) —
+// an idle tick's effects touch nothing the buffers feed.
+func (r *Router) SkipIdle(cycles int) {
+	r.vaOffset += cycles
+	if r.cfg.NonSpeculative {
+		for i := range r.justAllocated {
+			r.justAllocated[i] = false
+		}
+	}
+	if s, ok := r.alloc.(alloc.IdleSkipper); ok {
+		s.SkipIdle(cycles)
+		return
+	}
+	r.reqs.Requests = r.reqs.Requests[:0]
+	for i := 0; i < cycles; i++ {
+		r.alloc.Allocate(&r.reqs)
+	}
 }
 
 // allocateVCs performs the VC allocation stage: head flits at the front

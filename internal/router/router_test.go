@@ -47,7 +47,7 @@ func TestSingleFlitTraversal(t *testing.T) {
 	pkt := NewPacket(1, 0, 9, 1, 0)
 	deliver(r, 1, 0, 2, pkt)
 
-	ems, credits := r.Tick()
+	ems, credits, _ := r.Tick()
 	if len(ems) != 1 {
 		t.Fatalf("got %d emissions, want 1", len(ems))
 	}
@@ -75,7 +75,7 @@ func TestEjectionConsumesNoCreditsAndEmitsUpstreamCredit(t *testing.T) {
 	pkt := NewPacket(1, 0, 9, 1, 0)
 	deliver(r, 3, 2, 0, pkt) // route to local port 0
 
-	ems, credits := r.Tick()
+	ems, credits, _ := r.Tick()
 	if len(ems) != 1 || ems[0].OutPort != 0 {
 		t.Fatalf("ejection emission wrong: %+v", ems)
 	}
@@ -97,7 +97,7 @@ func TestLocalInputPortEmitsNoCreditMessage(t *testing.T) {
 	pkt := NewPacket(1, 0, 9, 1, 0)
 	deliver(r, 0, 0, 2, pkt) // injected at local port
 
-	_, credits := r.Tick()
+	_, credits, _ := r.Tick()
 	if len(credits) != 0 {
 		t.Fatalf("local input produced credit messages: %+v", credits)
 	}
@@ -110,7 +110,7 @@ func TestMultiFlitWormhole(t *testing.T) {
 
 	var sent []*Flit
 	for cycle := 0; cycle < 4; cycle++ {
-		ems, _ := r.Tick()
+		ems, _, _ := r.Tick()
 		if len(ems) != 1 {
 			t.Fatalf("cycle %d: %d emissions, want 1", cycle, len(ems))
 		}
@@ -124,7 +124,7 @@ func TestMultiFlitWormhole(t *testing.T) {
 			t.Errorf("flit %d switched VC mid-packet: %d vs %d", i, f.VC, sent[0].VC)
 		}
 	}
-	if ems, _ := r.Tick(); len(ems) != 0 {
+	if ems, _, _ := r.Tick(); len(ems) != 0 {
 		t.Fatalf("empty router still emitting: %+v", ems)
 	}
 }
@@ -138,7 +138,7 @@ func TestOutputVCHeldUntilTail(t *testing.T) {
 
 	vcs := map[uint64]int{}
 	for cycle := 0; cycle < 8; cycle++ {
-		ems, _ := r.Tick()
+		ems, _, _ := r.Tick()
 		for _, e := range ems {
 			if prev, ok := vcs[e.Flit.PacketID]; ok && prev != e.Flit.VC {
 				t.Fatalf("packet %d changed downstream VC", e.Flit.PacketID)
@@ -166,7 +166,7 @@ func TestCreditBlocking(t *testing.T) {
 	pkt := NewPacket(1, 0, 9, 2, 0)
 	deliver(r, 1, 0, 2, pkt[:1])
 
-	ems, _ := r.Tick()
+	ems, _, _ := r.Tick()
 	if len(ems) != 1 {
 		t.Fatalf("first flit blocked unexpectedly")
 	}
@@ -175,11 +175,11 @@ func TestCreditBlocking(t *testing.T) {
 	if r.Credits(2, 0) != 0 {
 		t.Fatalf("credit accounting wrong: %d", r.Credits(2, 0))
 	}
-	if ems, _ := r.Tick(); len(ems) != 0 {
+	if ems, _, _ := r.Tick(); len(ems) != 0 {
 		t.Fatalf("flit advanced without credit: %+v", ems)
 	}
 	r.DeliverCredit(2, 0)
-	if ems, _ := r.Tick(); len(ems) != 1 {
+	if ems, _, _ := r.Tick(); len(ems) != 1 {
 		t.Fatal("flit did not advance after credit return")
 	}
 }
@@ -227,7 +227,7 @@ func TestVIXDatapathParallelism(t *testing.T) {
 	r := testRouter(t, base)
 	deliver(r, 1, 0, 2, NewPacket(1, 0, 9, 1, 0))
 	deliver(r, 1, 3, 4, NewPacket(2, 0, 8, 1, 0))
-	ems, _ := r.Tick()
+	ems, _, _ := r.Tick()
 	if len(ems) != 1 {
 		t.Fatalf("baseline moved %d flits from one port, want 1", len(ems))
 	}
@@ -238,7 +238,7 @@ func TestVIXDatapathParallelism(t *testing.T) {
 	r2 := testRouter(t, vixCfg)
 	deliver(r2, 1, 0, 2, NewPacket(1, 0, 9, 1, 0)) // sub-group 0
 	deliver(r2, 1, 3, 4, NewPacket(2, 0, 8, 1, 0)) // sub-group 1
-	ems2, _ := r2.Tick()
+	ems2, _, _ := r2.Tick()
 	if len(ems2) != 2 {
 		t.Fatalf("VIX moved %d flits from one port, want 2", len(ems2))
 	}
@@ -252,7 +252,7 @@ func TestBodyFlitsInheritOutputVC(t *testing.T) {
 	deliver(r, 2, 1, 3, pkt)
 	seen := map[int]bool{}
 	for i := 0; i < 5; i++ {
-		ems, _ := r.Tick()
+		ems, _, _ := r.Tick()
 		if len(ems) != 1 {
 			t.Fatalf("cycle %d: emissions %d", i, len(ems))
 		}
@@ -351,11 +351,11 @@ func TestNonSpeculativeDelaysHeadOneCycle(t *testing.T) {
 	r := testRouter(t, cfg)
 	deliver(r, 1, 0, 2, NewPacket(1, 0, 9, 1, 0))
 
-	ems, _ := r.Tick()
+	ems, _, _ := r.Tick()
 	if len(ems) != 0 {
 		t.Fatalf("non-speculative head traversed in its VA cycle")
 	}
-	ems, _ = r.Tick()
+	ems, _, _ = r.Tick()
 	if len(ems) != 1 {
 		t.Fatalf("head did not traverse in the cycle after VA: %+v", ems)
 	}
@@ -366,7 +366,7 @@ func TestNonSpeculativeDelaysHeadOneCycle(t *testing.T) {
 func TestSpeculativeHeadSameCycle(t *testing.T) {
 	r := testRouter(t, baseConfig())
 	deliver(r, 1, 0, 2, NewPacket(1, 0, 9, 1, 0))
-	if ems, _ := r.Tick(); len(ems) != 1 {
+	if ems, _, _ := r.Tick(); len(ems) != 1 {
 		t.Fatalf("speculative head failed to traverse in VA cycle: %+v", ems)
 	}
 }
@@ -381,7 +381,7 @@ func TestNonSpeculativeBodyFlitsUnaffected(t *testing.T) {
 
 	var sent int
 	for cycle := 0; cycle < 6; cycle++ {
-		ems, _ := r.Tick()
+		ems, _, _ := r.Tick()
 		sent += len(ems)
 	}
 	// Cycle 0: VA only. Cycles 1-4: one flit each.
