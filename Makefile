@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint lint-escapes lint-bench race test bench bench-json profile sweep experiments examples clean
+.PHONY: all build vet lint lint-escapes lint-state lint-bench race test bench bench-json profile sweep experiments examples clean
 
 all: build vet lint test
 
@@ -13,12 +13,12 @@ vet:
 # The full static-analysis gate: vet, gofmt cleanliness, the repo's own
 # vixlint pass (determinism including transitive reach, allocator
 # contracts, scratch escape, enum exhaustiveness, hygiene, and the
-# parallel/* shard-ownership rules — see internal/lint), and the
-# compiler escape gate (lint-escapes). vixlint keeps a content-hash
-# finding cache under .vixlint/, so reruns only re-analyze packages
-# whose hash chain changed. The lint self-check test enforces the same
-# rules under plain `go test ./...`.
-lint: vet lint-escapes
+# parallel/* shard-ownership rules — see internal/lint), the compiler
+# escape gate (lint-escapes), and the state-graph gate (lint-state).
+# vixlint keeps a content-hash finding cache under .vixlint/, so reruns
+# only re-analyze packages whose hash chain changed. The lint
+# self-check tests enforce the same rules under plain `go test ./...`.
+lint: vet lint-escapes lint-state
 	@unformatted="$$(gofmt -l .)"; \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt: the following files need formatting:"; \
@@ -36,32 +36,55 @@ lint: vet lint-escapes
 lint-escapes:
 	go run ./cmd/vixlint -escapes -v ./...
 
+# The state-graph gate: every mutable field reachable from the
+# simulation state roots must be classified persistent, scratch or
+# config in the committed manifest at .vixlint/stategraph.golden — the
+# normative field list for checkpoint/restore. Regenerate after an
+# audited change with `go run ./cmd/vixlint -state -update-state ./...`.
+lint-state:
+	go run ./cmd/vixlint -state -v ./...
+
 # Demonstrate the incremental engine: a cold run (cache cleared) versus
 # a warm rerun, which must type-check and analyze zero packages. The
-# escape gate gets the same treatment: its warm-skip state is keyed on
-# the module content hash, the golden and the toolchain, so the warm
-# invocation must analyze nothing. Only the cache entries are cleared —
-# .vixlint/escapes.golden is a committed baseline, not cache.
+# escape and state gates get the same treatment: their warm-skip states
+# are keyed on the module content hash plus their golden/manifest (and,
+# for escapes, the toolchain), so the warm invocations must analyze
+# nothing. Only cache entries are cleared — .vixlint/escapes.golden and
+# .vixlint/stategraph.golden are committed baselines, not cache. The
+# binary builds into a per-invocation temp dir so concurrent checkouts
+# (CI shards, worktrees) cannot clobber each other's binary.
 lint-bench:
-	go build -o /tmp/vixlint_bench ./cmd/vixlint
-	rm -f .vixlint/*.json
-	@echo "== cold (empty cache)"
-	/tmp/vixlint_bench -v ./...
-	@echo "== warm (unchanged tree)"
-	@warm="$$(/tmp/vixlint_bench -v ./... 2>&1)"; \
+	@bin="$$(mktemp -d)/vixlint"; \
+	trap 'rm -rf "$$(dirname "$$bin")"' EXIT; \
+	set -e; \
+	go build -o "$$bin" ./cmd/vixlint; \
+	rm -f .vixlint/*.json; \
+	echo "== cold (empty cache)"; \
+	"$$bin" -v ./...; \
+	echo "== warm (unchanged tree)"; \
+	warm="$$("$$bin" -v ./... 2>&1)"; \
 	echo "$$warm"; \
 	case "$$warm" in \
 	*" 0 analyzed"*) ;; \
 	*) echo "lint-bench: warm run re-analyzed packages; cache is broken"; exit 1 ;; \
-	esac
-	@echo "== escapes cold (no warm-skip state)"
-	/tmp/vixlint_bench -escapes -v ./...
-	@echo "== escapes warm (unchanged tree)"
-	@warm="$$(/tmp/vixlint_bench -escapes -v ./... 2>&1)"; \
+	esac; \
+	echo "== escapes cold (no warm-skip state)"; \
+	"$$bin" -escapes -v ./...; \
+	echo "== escapes warm (unchanged tree)"; \
+	warm="$$("$$bin" -escapes -v ./... 2>&1)"; \
 	echo "$$warm"; \
 	case "$$warm" in \
 	*" 0 analyzed"*) ;; \
 	*) echo "lint-bench: warm escape gate re-ran the compiler diff; warm-skip state is broken"; exit 1 ;; \
+	esac; \
+	echo "== state cold (no warm-skip state)"; \
+	"$$bin" -state -v ./...; \
+	echo "== state warm (unchanged tree)"; \
+	warm="$$("$$bin" -state -v ./... 2>&1)"; \
+	echo "$$warm"; \
+	case "$$warm" in \
+	*" 0 analyzed"*) ;; \
+	*) echo "lint-bench: warm state gate re-ran the graph walk; warm-skip state is broken"; exit 1 ;; \
 	esac
 
 # Run the test suite under the race detector. Allocators and routers are

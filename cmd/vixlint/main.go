@@ -30,10 +30,19 @@
 //	             golden at .vixlint/escapes.golden
 //	-update-escapes  with -escapes, regenerate the golden from the
 //	             current compiler output instead of diffing
+//	-state       run the state-graph gate instead of the analyzers:
+//	             walk every mutable field reachable from the simulation
+//	             state roots and require the committed manifest at
+//	             .vixlint/stategraph.golden to classify each one as
+//	             persistent, scratch or config (rules state/unclassified,
+//	             state/scratch-read, state/frozen-write, state/stale)
+//	-update-state  with -state, regenerate the manifest: audited
+//	             classifications are preserved, stale entries dropped,
+//	             new fields classified automatically
 //
 // Exit status: 0 when the module is clean, 1 when findings are
 // reported, 2 when the analysis itself fails (unloadable module,
-// unreadable root).
+// unreadable root, malformed state manifest).
 package main
 
 import (
@@ -55,8 +64,10 @@ func main() {
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 	escapes := flag.Bool("escapes", false, "run the compiler escape gate (diff //vixlint:hot cone escapes against .vixlint/escapes.golden)")
 	updateEscapes := flag.Bool("update-escapes", false, "with -escapes, regenerate the golden from current compiler output")
+	state := flag.Bool("state", false, "run the state-graph gate (diff reachable simulation state against .vixlint/stategraph.golden)")
+	updateState := flag.Bool("update-state", false, "with -state, regenerate the manifest (preserving audited classifications)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: vixlint [-root dir] [-json] [-v] [-no-cache] [-workers n] [-escapes [-update-escapes]] [./...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vixlint [-root dir] [-json] [-v] [-no-cache] [-workers n] [-escapes [-update-escapes]] [-state [-update-state]] [./...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -80,9 +91,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vixlint: -update-escapes requires -escapes\n")
 		os.Exit(2)
 	}
+	if *updateState && !*state {
+		fmt.Fprintf(os.Stderr, "vixlint: -update-state requires -state\n")
+		os.Exit(2)
+	}
+	if *state && *escapes {
+		fmt.Fprintf(os.Stderr, "vixlint: -state and -escapes are separate gates; run them one at a time\n")
+		os.Exit(2)
+	}
 	start := time.Now()
 	var findings []lint.Finding
-	if *escapes {
+	if *state {
+		var sstats lint.StateStats
+		var err error
+		findings, sstats, err = lint.CheckState(dir, lint.StateOptions{
+			Update: *updateState,
+			Cache:  !*noCache,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vixlint: %v\n", err)
+			os.Exit(2)
+		}
+		if *verbose {
+			cached := 0
+			if sstats.Cached {
+				cached = 1
+			}
+			fmt.Fprintf(os.Stderr, "vixlint: state: %d packages, %d cached, %d analyzed, %d roots, %d fields, %d entries, %s\n",
+				sstats.Packages, cached, sstats.Analyzed, sstats.Roots, sstats.Fields,
+				sstats.Entries, time.Since(start).Round(time.Millisecond))
+		}
+	} else if *escapes {
 		var estats lint.EscapeStats
 		var err error
 		findings, estats, err = lint.CheckEscapes(dir, lint.EscapeOptions{

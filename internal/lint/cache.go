@@ -50,7 +50,7 @@ import (
 // behaviour. Bump it in any commit that alters rules or messages.
 // (-2: parallel/* write-effect rules and the ownership fingerprint
 // joined the key chain.)
-const cacheVersion = "vixlint-cache-2"
+const cacheVersion = "vixlint-cache-3"
 
 // cacheDirName is the default cache directory under the module root.
 const cacheDirName = ".vixlint"

@@ -40,6 +40,15 @@ func TestCorpus(t *testing.T) {
 			if err != nil {
 				t.Fatalf("lint.Check(%s): %v", dir, err)
 			}
+			// Fixtures that commit a state manifest also run the state
+			// gate; its findings land after the main analysis's.
+			if _, err := os.Stat(filepath.Join(dir, ".vixlint", "stategraph.golden")); err == nil {
+				sfs, _, err := lint.CheckState(dir, lint.StateOptions{})
+				if err != nil {
+					t.Fatalf("lint.CheckState(%s): %v", dir, err)
+				}
+				findings = append(findings, sfs...)
+			}
 			abs, err := filepath.Abs(dir)
 			if err != nil {
 				t.Fatal(err)
@@ -79,6 +88,8 @@ func TestCorpus(t *testing.T) {
 		"determinism/reach", "escape/store", "escape/retain",
 		"exhaustive/switch", "waiver/stale",
 		"parallel/sharedwrite", "parallel/phase", "hygiene/close",
+		"directive/unknown", "state/unclassified", "state/stale",
+		"state/scratch-read", "state/frozen-write", "state/waiver",
 	} {
 		if !seenRules[rule] {
 			t.Errorf("no corpus fixture triggers %s; every inter-procedural rule needs a failing fixture", rule)

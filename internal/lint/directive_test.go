@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzClassifyDirective pins the directive parser's contract on
+// arbitrary comment text: it never panics, it only accepts text
+// carrying the //vixlint: prefix, an accepted name is always a member
+// of the closed set properly delimited in the input, and a malformed
+// name always comes back as the unknown-directive shape (name == "")
+// so callers report it — malformed directives must produce findings,
+// never silent acceptance.
+func FuzzClassifyDirective(f *testing.F) {
+	for _, seed := range []string{
+		"//vixlint:ordered keys sorted before iteration",
+		"//vixlint:state",
+		"//vixlint:state\tbuf carries only capacity",
+		"//vixlint:sate typo",
+		"//vixlint:orderedjunk glued suffix",
+		"//vixlint:",
+		"//vixlint: state leading space",
+		"// vixlint:ordered not a directive",
+		"/*vixlint:ordered*/",
+		"//vixlint:hot",
+		"//vixlint:STATE case matters",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		name, rest, ok := classifyDirective(text)
+		if ok != strings.HasPrefix(text, directivePrefix) {
+			t.Fatalf("classifyDirective(%q) ok = %v; prefix presence = %v", text, ok, !ok)
+		}
+		if !ok {
+			if name != "" || rest != "" {
+				t.Fatalf("classifyDirective(%q) rejected the prefix but returned (%q, %q)", text, name, rest)
+			}
+			return
+		}
+		after := strings.TrimPrefix(text, directivePrefix)
+		if name == "" {
+			// Unknown-directive shape: the offending token must not be a
+			// member of the closed set (it would have been accepted), and
+			// the token never spans a delimiter.
+			if _, known := knownDirectives[rest]; known {
+				t.Fatalf("classifyDirective(%q) reported known name %q as unknown", text, rest)
+			}
+			if strings.ContainsAny(rest, " \t") {
+				t.Fatalf("classifyDirective(%q) returned token %q spanning a delimiter", text, rest)
+			}
+			return
+		}
+		if _, known := knownDirectives[name]; !known {
+			t.Fatalf("classifyDirective(%q) accepted name %q outside the closed set", text, name)
+		}
+		if after != name && !strings.HasPrefix(after, name+" ") && !strings.HasPrefix(after, name+"\t") {
+			t.Fatalf("classifyDirective(%q) accepted name %q that is not delimited in the input", text, name)
+		}
+		if rest != strings.TrimSpace(rest) {
+			t.Fatalf("classifyDirective(%q) returned untrimmed rest %q", text, rest)
+		}
+	})
+}

@@ -95,6 +95,7 @@ func (a *Analysis) checkPackage(path string) []Finding {
 		fs = append(fs, c.escape()...)
 	}
 	fs = append(fs, c.mutations()...)
+	fs = append(fs, c.directiveFindings()...)
 	fs = append(fs, a.shardFindings[path]...)
 	// Last: every waiver-consulting pass for this package has run, so
 	// usage tracking for the stale-waiver sweep is complete.

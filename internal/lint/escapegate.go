@@ -221,7 +221,7 @@ func collectHotFuncs(mod *Module, g *callGraph) ([]*types.Func, []Finding) {
 		for _, file := range pkg.Files {
 			for _, cg := range file.Comments {
 				for _, cm := range cg.List {
-					if !strings.HasPrefix(cm.Text, hotDirective) {
+					if name, _, ok := classifyDirective(cm.Text); !ok || name != "hot" {
 						continue
 					}
 					p := mod.Fset.Position(cm.Pos())

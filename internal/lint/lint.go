@@ -232,8 +232,12 @@ type waiverSet struct {
 }
 
 // collectWaivers scans a package's comments for the given waiver
-// directive.
+// directive. Matching goes through classifyDirective, so only an exact,
+// whitespace-delimited directive name counts — //vixlint:orderedjunk is
+// an unknown directive (reported by directive/unknown), not a waiver
+// with justification "junk".
 func collectWaivers(mod *Module, pkg *Package, directive string) *waiverSet {
+	want := strings.TrimPrefix(directive, directivePrefix)
 	ws := &waiverSet{
 		directive: directive,
 		lines:     make(map[string]map[int]string),
@@ -242,8 +246,8 @@ func collectWaivers(mod *Module, pkg *Package, directive string) *waiverSet {
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, cm := range cg.List {
-				rest, ok := strings.CutPrefix(cm.Text, directive)
-				if !ok {
+				name, rest, ok := classifyDirective(cm.Text)
+				if !ok || name != want {
 					continue
 				}
 				pos := mod.Fset.Position(cm.Pos())
@@ -251,7 +255,7 @@ func collectWaivers(mod *Module, pkg *Package, directive string) *waiverSet {
 					ws.lines[pos.Filename] = make(map[int]string)
 					ws.used[pos.Filename] = make(map[int]bool)
 				}
-				ws.lines[pos.Filename][pos.Line] = strings.TrimSpace(rest)
+				ws.lines[pos.Filename][pos.Line] = rest
 			}
 		}
 	}

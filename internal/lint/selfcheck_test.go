@@ -182,6 +182,62 @@ func TestRepoTypeChecks(t *testing.T) {
 	}
 }
 
+// TestRepoStateGraphIsClean runs the state-graph gate over the
+// repository's own source against the committed manifest, so plain
+// `go test ./...` — the tier-1 gate — fails the moment a new mutable
+// field reaches the simulation state graph without a classification,
+// a scratch field starts carrying cross-cycle state, or a config field
+// is written mid-run. This is the same analysis `make lint`
+// (cmd/vixlint -state) runs; regenerate and audit the manifest with
+// `go run ./cmd/vixlint -state -update-state ./...`.
+func TestRepoStateGraphIsClean(t *testing.T) {
+	findings, stats, err := lint.CheckState(repoRoot(t), lint.StateOptions{
+		CacheDir: t.TempDir(), // never mutate the checkout's warm-skip state
+	})
+	if err != nil {
+		t.Fatalf("lint.CheckState: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("classify new fields in .vixlint/stategraph.golden (or fix the access order); `go run ./cmd/vixlint -state -update-state ./...` infers a starting class")
+	}
+	if stats.Roots < 6 || stats.Fields < 100 || stats.Entries < 5 {
+		t.Errorf("stats = %+v; the state walk lost most of the tree (roots >= 6, fields >= 100, entries >= 5 expected)", stats)
+	}
+}
+
+// TestStateGraphRootsArePinned makes growing the state-root table a
+// reviewed act, like the concurrency allowlist: the structs anchoring
+// the snapshot inventory are exactly the network (plus its NI), the
+// router, the stats collector, the RNG stream, and every allocator
+// implementation. Anyone adding a subsystem that owns mutable
+// simulation state must extend StateGraphRoots, update this test, and
+// justify the root in its Why field.
+func TestStateGraphRootsArePinned(t *testing.T) {
+	want := []struct{ pkg, typ, iface string }{
+		{"network", "Network", ""},
+		{"network", "ni", ""},
+		{"router", "Router", ""},
+		{"stats", "Collector", ""},
+		{"sim", "RNG", ""},
+		{"alloc", "", "Allocator"},
+	}
+	if len(lint.StateGraphRoots) != len(want) {
+		t.Fatalf("StateGraphRoots has %d entries, want %d: %v", len(lint.StateGraphRoots), len(want), lint.StateGraphRoots)
+	}
+	for i, w := range want {
+		r := lint.StateGraphRoots[i]
+		if r.Pkg != w.pkg || r.Type != w.typ || r.Iface != w.iface {
+			t.Errorf("StateGraphRoots[%d] = {%s %s %s}, want {%s %s %s}", i, r.Pkg, r.Type, r.Iface, w.pkg, w.typ, w.iface)
+		}
+		if strings.TrimSpace(r.Why) == "" {
+			t.Errorf("StateGraphRoots[%d] (%s.%s%s) has no justification", i, r.Pkg, r.Type, r.Iface)
+		}
+	}
+}
+
 // TestShardOwnershipRootsArePinned makes growing the write-ownership
 // table a reviewed act, exactly like the concurrency allowlist: the
 // packages whose pool jobs may write anything at all are internal/network

@@ -1,0 +1,257 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vix/internal/lint"
+)
+
+// stateModule is a miniature simulator slice for the state gate: a
+// network package whose Step cone rebuilds scratch, carries persistent
+// state, and reads config. Root matching is by package name, so the
+// fixture's internal/network stands in for the real one.
+func stateModule() map[string]string {
+	return map[string]string{
+		"go.mod": "module fix\n\ngo 1.22\n",
+		"internal/network/net.go": `package network
+
+// Network is the fixture's root state struct.
+type Network struct {
+	cycle int   // persistent: read (incremented) every Step
+	queue []int // persistent: drained across cycles
+	work  []int // scratch: reset before use every Step
+	size  int   // config: never written after construction
+}
+
+// New builds a Network.
+func New(size int) *Network {
+	return &Network{size: size}
+}
+
+// Step advances one cycle.
+func (n *Network) Step() {
+	n.work = n.work[:0]
+	for i := 0; i < n.size; i++ {
+		n.work = append(n.work, i)
+	}
+	n.queue = append(n.queue, n.work...)
+	n.cycle++
+}
+`,
+	}
+}
+
+// checkState is the test harness around lint.CheckState.
+func checkState(t *testing.T, root string, opts lint.StateOptions) ([]lint.Finding, lint.StateStats) {
+	t.Helper()
+	fs, stats, err := lint.CheckState(root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, stats
+}
+
+// TestStateGateLifecycle walks the gate through its protocol: missing
+// manifest fails, -update-state infers a self-consistent classification,
+// the warm-skip state makes reruns free, and both a manifest edit and a
+// struct-field edit bust the warm skip.
+func TestStateGateLifecycle(t *testing.T) {
+	root := writeTree(t, stateModule())
+	opts := lint.StateOptions{Cache: true}
+
+	// No committed manifest: the gate must fail, not silently pass.
+	fs, _ := checkState(t, root, opts)
+	if len(fs) != 1 || fs[0].Rule != "state/golden" {
+		t.Fatalf("without manifest: findings = %v; want exactly one state/golden", renderAll(fs))
+	}
+
+	// Regenerate: the inferred manifest must be self-consistent (zero
+	// findings) and carry all four fields under their expected classes.
+	fs, stats := checkState(t, root, lint.StateOptions{Update: true, Cache: true})
+	if len(fs) != 0 {
+		t.Fatalf("update run reported findings: %v", renderAll(fs))
+	}
+	if stats.Roots != 1 || stats.Fields != 4 || stats.Entries != 1 {
+		t.Errorf("stats = %+v; want 1 root, 4 fields, 1 entry", stats)
+	}
+	manifestPath := filepath.Join(root, ".vixlint", "stategraph.golden")
+	manifest, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"persistent\tnetwork.Network.cycle",
+		"persistent\tnetwork.Network.queue",
+		"scratch\tnetwork.Network.work",
+		"config\tnetwork.Network.size",
+	} {
+		if !strings.Contains(string(manifest), want) {
+			t.Errorf("manifest lacks %q:\n%s", want, manifest)
+		}
+	}
+
+	// Clean diff, then a warm skip that never loads the module.
+	fs, _ = checkState(t, root, opts)
+	if len(fs) != 0 {
+		t.Fatalf("clean module reported findings: %v", renderAll(fs))
+	}
+	fs, stats = checkState(t, root, opts)
+	if len(fs) != 0 || !stats.Cached || stats.Analyzed != 0 {
+		t.Errorf("warm run: findings = %v, stats = %+v; want cached skip with 0 analyzed", renderAll(fs), stats)
+	}
+
+	// A manifest edit is part of the verdict and must bust the warm skip:
+	// reclassifying the scratch field as config turns its Step write into
+	// state/frozen-write.
+	edited := strings.Replace(string(manifest),
+		"scratch\tnetwork.Network.work", "config\tnetwork.Network.work", 1)
+	if edited == string(manifest) {
+		t.Fatal("manifest splice found nothing to replace")
+	}
+	if err := os.WriteFile(manifestPath, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, stats = checkState(t, root, opts)
+	if stats.Cached {
+		t.Errorf("edited manifest still served from warm-skip state")
+	}
+	var frozen bool
+	for _, f := range fs {
+		if f.Rule == "state/frozen-write" && strings.Contains(f.Msg, "network.Network.work") {
+			frozen = true
+		}
+	}
+	if !frozen {
+		t.Errorf("reclassified field not reported: findings = %v", renderAll(fs))
+	}
+
+	// Restore the manifest, rewarm, then grow the struct: the new field
+	// must surface as state/unclassified on a busted warm skip.
+	if err := os.WriteFile(manifestPath, manifest, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	checkState(t, root, opts)
+	netFile := filepath.Join(root, "internal", "network", "net.go")
+	src, err := os.ReadFile(netFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := strings.Replace(string(src), "cycle int",
+		"cycle int\n\tdrops int", 1)
+	if grown == string(src) {
+		t.Fatal("field splice found nothing to replace")
+	}
+	if err := os.WriteFile(netFile, []byte(grown), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, stats = checkState(t, root, opts)
+	if stats.Cached {
+		t.Errorf("edited struct still served from warm-skip state")
+	}
+	var unclassified bool
+	for _, f := range fs {
+		if f.Rule == "state/unclassified" && strings.Contains(f.Msg, "network.Network.drops") &&
+			strings.HasSuffix(f.Pos.Filename, "net.go") {
+			unclassified = true
+		}
+	}
+	if !unclassified {
+		t.Errorf("new field not reported: findings = %v", renderAll(fs))
+	}
+}
+
+// TestStateManifestErrors: a malformed manifest is a hard error, not a
+// finding — a gate that half-reads its own baseline proves nothing.
+func TestStateManifestErrors(t *testing.T) {
+	root := writeTree(t, stateModule())
+	if _, _, err := lint.CheckState(root, lint.StateOptions{Update: true}); err != nil {
+		t.Fatal(err)
+	}
+	manifestPath := filepath.Join(root, ".vixlint", "stategraph.golden")
+	manifest, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name, extra, wantErr string
+	}{
+		{"missing tab", "persistent network.Network.cycle\n", "malformed manifest line"},
+		{"unknown class", "volatile\tnetwork.Network.cycle\tnote\n", "unknown state class"},
+		{"duplicate", "scratch\tnetwork.Network.cycle\t\npersistent\tnetwork.Network.cycle\t\n", "duplicate manifest entry"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(manifestPath, append([]byte(nil), append(manifest, tc.extra...)...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, _, err := lint.CheckState(root, lint.StateOptions{})
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v; want %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestStateGateRealTreeManifestDiff runs the gate over the repository
+// itself against an edited copy of the committed manifest (via the
+// ManifestPath override, so the checkout stays clean): deleting an entry
+// must fail with state/unclassified naming the field's rendered path,
+// and a fabricated entry must fail with state/stale at its manifest
+// line. This is the acceptance property the gate exists for — the
+// manifest cannot silently drift from the reachable state surface.
+func TestStateGateRealTreeManifestDiff(t *testing.T) {
+	root := repoRoot(t)
+	committed, err := os.ReadFile(filepath.Join(root, ".vixlint", "stategraph.golden"))
+	if err != nil {
+		t.Fatalf("no committed state manifest: %v", err)
+	}
+
+	const victim = "router.Router.occ"
+	var kept []string
+	removed := false
+	for _, line := range strings.Split(string(committed), "\n") {
+		if strings.Contains(line, "\t"+victim+"\t") {
+			removed = true
+			continue
+		}
+		kept = append(kept, line)
+	}
+	if !removed {
+		t.Fatalf("committed manifest has no entry for %s; pick a new victim", victim)
+	}
+	edited := strings.Join(kept, "\n") +
+		"persistent\tnetwork.Network.phantomField\tfabricated for the stale test\n"
+	editedPath := filepath.Join(t.TempDir(), "stategraph.golden")
+	if err := os.WriteFile(editedPath, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fs, _, err := lint.CheckState(root, lint.StateOptions{
+		ManifestPath: editedPath,
+		CacheDir:     t.TempDir(), // keep the checkout's warm-skip state intact
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unclassified, stale bool
+	for _, f := range fs {
+		if f.Rule == "state/unclassified" && strings.Contains(f.Msg, victim) {
+			unclassified = true
+		}
+		if f.Rule == "state/stale" && strings.Contains(f.Msg, "phantomField") &&
+			f.Pos.Filename == editedPath && f.Pos.Line > 0 {
+			stale = true
+		}
+	}
+	if !unclassified {
+		t.Errorf("deleting %s from the manifest did not fail the gate: %v", victim, renderAll(fs))
+	}
+	if !stale {
+		t.Errorf("fabricated manifest entry not reported stale: %v", renderAll(fs))
+	}
+	if len(fs) != 2 {
+		t.Errorf("expected exactly the two seeded findings, got %v", renderAll(fs))
+	}
+}

@@ -1,0 +1,23 @@
+package network
+
+// Network's threshold is declared config in the manifest, but retune —
+// reached from Step, so inside the simulation cone — rewrites it
+// mid-run.
+type Network struct {
+	cycle     int
+	threshold int
+}
+
+// Step advances one cycle.
+func (n *Network) Step() {
+	n.cycle++
+	if n.cycle%100 == 0 {
+		n.retune()
+	}
+}
+
+// retune mutates supposedly frozen configuration — the seeded
+// violation.
+func (n *Network) retune() {
+	n.threshold = n.cycle / 2
+}

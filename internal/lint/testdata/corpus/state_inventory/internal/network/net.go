@@ -1,0 +1,16 @@
+package network
+
+// Network models the root state struct with one classified field, one
+// the manifest misses (drops), and a typoed directive the parser must
+// report instead of silently ignoring.
+type Network struct {
+	cycle int
+	drops int
+}
+
+// Step advances one cycle.
+func (n *Network) Step() {
+	n.cycle++
+	//vixlint:sate drops is rebuilt every cycle
+	n.drops = 0
+}

@@ -1,0 +1,40 @@
+package network
+
+// Network carries three scratch-classified fields: tmp is consumed
+// before it is rebuilt (through a helper, so the finding renders the
+// call path), buf's early read is waived with a justification, and
+// tmp2's waiver is missing its justification.
+type Network struct {
+	tmp  []int
+	buf  []int
+	tmp2 []int
+}
+
+// Step advances one cycle.
+func (n *Network) Step() {
+	hold := n.drain()
+	//vixlint:state buf carries only capacity across cycles, never data
+	if len(n.buf) > 0 {
+		n.buf = n.buf[:0]
+	}
+	//vixlint:state
+	hold += len(n.tmp2)
+	n.tmp = n.tmp[:0]
+	n.tmp2 = n.tmp2[:0]
+	n.buf = append(n.buf, hold)
+}
+
+// drain consumes tmp before Step rebuilds it — the seeded violation.
+func (n *Network) drain() int {
+	if len(n.tmp) == 0 {
+		return 0
+	}
+	return n.tmp[0]
+}
+
+// park is never reached by Step; the waiver below suppresses nothing
+// and must be reported stale.
+func (n *Network) park() int {
+	//vixlint:state stale justification on a line with no finding
+	return cap(n.buf)
+}
