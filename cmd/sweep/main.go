@@ -58,6 +58,7 @@ func main() {
 	log.SetPrefix("sweep: ")
 	var (
 		configPath = flag.String("config", "", "JSON experiment file used as the base configuration")
+		topoName   = flag.String("topo", "", "override the base topology: mesh, torus, cmesh, or fbfly")
 		schemesStr = flag.String("schemes", "if:1,wavefront:1,ap:1,if:2", "comma-separated allocator:k pairs")
 		ratesStr   = flag.String("rates", "0.01,0.03,0.05,0.07,0.09", "comma-separated injection rates (packets/cycle/node)")
 		saturate   = flag.Bool("sat", true, "append a saturation point per scheme")
@@ -100,6 +101,12 @@ func main() {
 	if *configPath != "" {
 		var err error
 		if base, err = config.Load(*configPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *topoName != "" {
+		base.Topology = *topoName
+		if err := base.Validate(); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -47,7 +47,7 @@ func main() {
 
 	var (
 		configPath = flag.String("config", "", "JSON experiment file (overrides the other flags)")
-		topoName   = flag.String("topo", "mesh", "topology: mesh, cmesh, or fbfly (64 nodes)")
+		topoName   = flag.String("topo", "mesh", "topology: mesh, torus, cmesh, or fbfly")
 		allocStr   = flag.String("alloc", "if", "allocator: if, wavefront, ap, pc, ideal, islip, or sparoflo")
 		k          = flag.Int("k", 1, "virtual inputs per port (1 = baseline, 2 = VIX)")
 		vcs        = flag.Int("vcs", 6, "virtual channels per port")

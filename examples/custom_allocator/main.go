@@ -46,18 +46,18 @@ func (o *outputFirst) Reset() {
 
 func (o *outputFirst) Allocate(rs *vix.RequestSet) []vix.SwitchGrant {
 	rows := o.cfg.Rows()
-	// Requests indexed by (row, outPort); keep the first VC per cell and
-	// let the row rotate across cells over time.
-	byCell := make(map[[2]int]vix.SwitchRequest, len(rs.Requests))
+	// Request indices keyed by (row, outPort); keep the first VC per cell
+	// and let the row rotate across cells over time.
+	byCell := make(map[[2]int]int, len(rs.Requests))
 	rowReq := make([][]bool, rows)
 	for i := range rowReq {
 		rowReq[i] = make([]bool, o.cfg.Ports)
 	}
-	for _, r := range rs.Requests {
+	for i, r := range rs.Requests {
 		row := o.cfg.Row(r.Port, r.VC)
 		key := [2]int{row, r.OutPort}
 		if _, ok := byCell[key]; !ok {
-			byCell[key] = r
+			byCell[key] = i
 		}
 		rowReq[row][r.OutPort] = true
 	}
@@ -89,9 +89,8 @@ func (o *outputFirst) Allocate(rs *vix.RequestSet) []vix.SwitchGrant {
 		if accepted < 0 {
 			continue
 		}
-		req := byCell[[2]int{row, accepted}]
 		grants = append(grants, vix.SwitchGrant{
-			Port: req.Port, VC: req.VC, OutPort: accepted, Row: row,
+			Req: byCell[[2]int{row, accepted}], OutPort: accepted, Row: row,
 		})
 		o.rowPtr[row] = (accepted + 1) % o.cfg.Ports
 		o.outPtr[accepted] = (row + 1) % rows

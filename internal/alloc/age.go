@@ -114,7 +114,7 @@ func (s *SeparableAge) Allocate(rs *RequestSet) []Grant {
 			row = s.outputArbs[out].Arbitrate(s.rowTies)
 		}
 		req := rs.Requests[s.candidate[row]]
-		s.grants = append(s.grants, Grant{Port: req.Port, VC: req.VC, OutPort: out, Row: row})
+		s.grants = append(s.grants, Grant{Req: s.candidate[row], OutPort: out, Row: row})
 		s.outputArbs[out].Ack(row)
 		s.inputArbs[row].Ack(s.cfg.Slot(req.VC))
 	}

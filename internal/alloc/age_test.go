@@ -38,7 +38,7 @@ func TestAgeOldestWinsOutput(t *testing.T) {
 			Request{Port: 3, VC: 0, OutPort: 2, Age: 1},
 		)
 		grants := a.Allocate(rs)
-		if len(grants) != 1 || grants[0].Port != 1 {
+		if len(grants) != 1 || grants[0].Request(rs).Port != 1 {
 			t.Fatalf("trial %d: oldest requestor lost: %+v", trial, grants)
 		}
 	}
@@ -56,7 +56,7 @@ func TestAgeOldestWinsInput(t *testing.T) {
 	if len(grants) != 1 {
 		t.Fatalf("grants = %+v", grants)
 	}
-	if grants[0].VC != 3 || grants[0].OutPort != 4 {
+	if grants[0].Request(rs).VC != 3 || grants[0].OutPort != 4 {
 		t.Fatalf("older VC lost input arbitration: %+v", grants[0])
 	}
 }
@@ -74,7 +74,7 @@ func TestAgeTieBreakIsFair(t *testing.T) {
 			Request{Port: 2, VC: 0, OutPort: 1},
 		)
 		for _, g := range a.Allocate(rs) {
-			counts[g.Port]++
+			counts[g.Request(rs).Port]++
 		}
 	}
 	for p := 0; p < 3; p++ {

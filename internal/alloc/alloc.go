@@ -134,14 +134,21 @@ type Request struct {
 	Age int
 }
 
-// Grant records that the flit at (Port, VC) may traverse the crossbar to
-// OutPort this cycle via crossbar row Row.
+// Grant records that the flit of one request may traverse the crossbar
+// to OutPort this cycle via crossbar row Row. Req indexes the Requests
+// slice of the RequestSet the grant answers: the granted input (port,
+// VC) is rs.Requests[g.Req].Port/VC. Carrying the index instead of the
+// coordinates keeps the grant loop on the arena-backed router a pure
+// array walk — the router re-reads the request it built rather than
+// re-deriving buffer addresses from coordinates.
 type Grant struct {
-	Port    int
-	VC      int
+	Req     int
 	OutPort int
 	Row     int
 }
+
+// Request resolves the request the grant answers within its request set.
+func (g Grant) Request(rs *RequestSet) Request { return rs.Requests[g.Req] }
 
 // RequestSet is the per-cycle input to an allocator.
 type RequestSet struct {
@@ -174,30 +181,26 @@ type Allocator interface {
 //
 // The marks are flat slices indexed by the Config geometry rather than
 // maps, keeping the property tests that call Validate every simulated
-// cycle cheap. Grants or requests whose coordinates fall outside the
-// configured geometry can never pair up, so such grants are rejected as
-// unmatched.
+// cycle cheap. A grant whose request index falls outside the set, or
+// whose output differs from the indexed request's, cannot pair up and is
+// rejected as unmatched.
 func Validate(rs *RequestSet, grants []Grant) error {
 	cfg := rs.Config
 	inRange := func(port, vc, out int) bool {
 		return port >= 0 && port < cfg.Ports && vc >= 0 && vc < cfg.VCs && out >= 0 && out < cfg.Ports
 	}
-	// line flattens (port, vc, out) onto a single request line index.
-	line := func(port, vc, out int) int { return (port*cfg.VCs+vc)*cfg.Ports + out }
-	offered := make([]bool, cfg.Ports*cfg.VCs*cfg.Ports)
-	for _, r := range rs.Requests {
-		if inRange(r.Port, r.VC, r.OutPort) {
-			offered[line(r.Port, r.VC, r.OutPort)] = true
-		}
-	}
 	rowUsed := make([]bool, cfg.Rows())
 	outUsed := make([]bool, cfg.Ports)
 	vcUsed := make([]bool, cfg.Ports*cfg.VCs)
 	for _, g := range grants {
-		if !inRange(g.Port, g.VC, g.OutPort) || !offered[line(g.Port, g.VC, g.OutPort)] {
-			return fmt.Errorf("alloc: grant %+v has no matching request", g)
+		if g.Req < 0 || g.Req >= len(rs.Requests) {
+			return fmt.Errorf("alloc: grant %+v indexes no request (set has %d)", g, len(rs.Requests))
 		}
-		if want := cfg.Row(g.Port, g.VC); g.Row != want {
+		req := rs.Requests[g.Req]
+		if !inRange(req.Port, req.VC, req.OutPort) || g.OutPort != req.OutPort {
+			return fmt.Errorf("alloc: grant %+v does not match its request %+v", g, req)
+		}
+		if want := cfg.Row(req.Port, req.VC); g.Row != want {
 			return fmt.Errorf("alloc: grant %+v has row %d, want %d", g, g.Row, want)
 		}
 		if rowUsed[g.Row] {
@@ -206,12 +209,12 @@ func Validate(rs *RequestSet, grants []Grant) error {
 		if outUsed[g.OutPort] {
 			return fmt.Errorf("alloc: output port %d granted twice", g.OutPort)
 		}
-		if vcUsed[g.Port*cfg.VCs+g.VC] {
-			return fmt.Errorf("alloc: VC (%d,%d) granted twice", g.Port, g.VC)
+		if vcUsed[req.Port*cfg.VCs+req.VC] {
+			return fmt.Errorf("alloc: VC (%d,%d) granted twice", req.Port, req.VC)
 		}
 		rowUsed[g.Row] = true
 		outUsed[g.OutPort] = true
-		vcUsed[g.Port*cfg.VCs+g.VC] = true
+		vcUsed[req.Port*cfg.VCs+req.VC] = true
 	}
 	return nil
 }
@@ -241,11 +244,42 @@ func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
 type rowScratch struct {
 	rows [][]int
 	occ  bitset // rows holding requests from the last group call
+	// rowOf[port*vcs+vc] precomputes Config.Row, whose sub-group mapping
+	// costs two integer divisions per call — too hot for the per-request
+	// grouping loop.
+	rowOf []int32
+	vcs   int
 }
 
 // newRowScratch sizes the per-row lists for cfg.
 func newRowScratch(cfg Config) rowScratch {
-	return rowScratch{rows: make([][]int, cfg.Rows()), occ: newBitset(cfg.Rows())}
+	return rowScratch{
+		rows:  make([][]int, cfg.Rows()),
+		occ:   newBitset(cfg.Rows()),
+		rowOf: rowTable(cfg),
+		vcs:   cfg.VCs,
+	}
+}
+
+// rowTable precomputes Config.Row for every (port, vc), indexed by
+// port*VCs+vc.
+func rowTable(cfg Config) []int32 {
+	t := make([]int32, cfg.Ports*cfg.VCs)
+	for p := 0; p < cfg.Ports; p++ {
+		for v := 0; v < cfg.VCs; v++ {
+			t[p*cfg.VCs+v] = int32(cfg.Row(p, v))
+		}
+	}
+	return t
+}
+
+// slotTable precomputes Config.Slot for every vc.
+func slotTable(cfg Config) []int32 {
+	t := make([]int32, cfg.VCs)
+	for v := 0; v < cfg.VCs; v++ {
+		t[v] = int32(cfg.Slot(v))
+	}
+	return t
 }
 
 // group refills the per-row request-index lists from rs and returns
@@ -263,7 +297,7 @@ func (s *rowScratch) group(rs *RequestSet) [][]int {
 		s.occ[wi] = 0
 	}
 	for i, r := range rs.Requests {
-		row := rs.Config.Row(r.Port, r.VC)
+		row := int(s.rowOf[r.Port*s.vcs+r.VC])
 		s.occ.set(row)
 		s.rows[row] = append(s.rows[row], i)
 	}

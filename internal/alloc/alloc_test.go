@@ -105,7 +105,7 @@ func TestSingleRequestAlwaysGranted(t *testing.T) {
 			continue
 		}
 		g := grants[0]
-		if g.Port != 2 || g.VC != 4 || g.OutPort != 3 {
+		if g.Req != 0 || g.OutPort != 3 {
 			t.Errorf("%s: wrong grant %+v", kind, g)
 		}
 	}
@@ -299,15 +299,16 @@ func TestValidateRejectsIllegalGrants(t *testing.T) {
 		name   string
 		grants []Grant
 	}{
-		{"phantom grant", []Grant{{Port: 3, VC: 3, OutPort: 3, Row: 3}}},
-		{"wrong row", []Grant{{Port: 0, VC: 0, OutPort: 1, Row: 4}}},
+		{"phantom grant", []Grant{{Req: 9, OutPort: 3, Row: 3}}},
+		{"negative request index", []Grant{{Req: -1, OutPort: 1, Row: 0}}},
+		{"wrong row", []Grant{{Req: 0, OutPort: 1, Row: 4}}},
 		{"duplicate row", []Grant{
-			{Port: 0, VC: 0, OutPort: 1, Row: 0},
-			{Port: 0, VC: 1, OutPort: 2, Row: 0},
+			{Req: 0, OutPort: 1, Row: 0},
+			{Req: 1, OutPort: 2, Row: 0},
 		}},
 		{"duplicate output", []Grant{
-			{Port: 0, VC: 0, OutPort: 1, Row: 0},
-			{Port: 1, VC: 0, OutPort: 1, Row: 1},
+			{Req: 0, OutPort: 1, Row: 0},
+			{Req: 2, OutPort: 1, Row: 1},
 		}},
 	}
 	for _, c := range cases {
@@ -315,12 +316,12 @@ func TestValidateRejectsIllegalGrants(t *testing.T) {
 			t.Errorf("%s: Validate accepted illegal grants", c.name)
 		}
 	}
-	legal := []Grant{
-		{Port: 0, VC: 0, OutPort: 1, Row: 0},
-		{Port: 1, VC: 0, OutPort: 2, Row: 1},
+	mismatched := []Grant{
+		{Req: 0, OutPort: 1, Row: 0},
+		// Request 2 asked for output 1, not 2.
+		{Req: 2, OutPort: 2, Row: 1},
 	}
-	// (Port 1, VC 0, OutPort 2) was never requested.
-	if Validate(rs, legal) == nil {
+	if Validate(rs, mismatched) == nil {
 		t.Error("Validate accepted grant with mismatched output")
 	}
 }

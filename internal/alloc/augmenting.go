@@ -94,8 +94,7 @@ func (a *AugmentingPath) Allocate(rs *RequestSet) []Grant {
 			continue
 		}
 		idx := a.slots.pick(a.cfg, rs, a.cellReqs.at(row, out), a.vcPick[row])
-		req := rs.Requests[idx]
-		a.grants = append(a.grants, Grant{Port: req.Port, VC: req.VC, OutPort: out, Row: row})
+		a.grants = append(a.grants, Grant{Req: idx, OutPort: out, Row: row})
 	}
 	return a.grants
 }

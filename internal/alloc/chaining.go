@@ -23,6 +23,7 @@ type PacketChaining struct {
 	// scratch
 	chainVC    []arb2 // per row: rotating pick among VCs eligible to chain
 	rest       RequestSet
+	restIdx    []int // rest position -> index in the outer request set
 	rowReqs    rowScratch
 	rowChained []bool
 	outChained []bool
@@ -55,6 +56,7 @@ func NewPacketChaining(cfg Config) *PacketChaining {
 		inner:      NewSeparableIF(cfg),
 		prevOut:    make([]int, cfg.Rows()),
 		chainVC:    make([]arb2, cfg.Rows()),
+		restIdx:    make([]int, 0, cfg.Ports*cfg.VCs),
 		rowReqs:    newRowScratch(cfg),
 		rowChained: make([]bool, cfg.Rows()),
 		outChained: make([]bool, cfg.Ports),
@@ -110,25 +112,30 @@ func (p *PacketChaining) Allocate(rs *RequestSet) []Grant {
 		if pick < 0 {
 			continue
 		}
-		req := rs.Requests[idxs[pick]]
-		p.grants = append(p.grants, Grant{Port: req.Port, VC: req.VC, OutPort: out, Row: row})
+		p.grants = append(p.grants, Grant{Req: idxs[pick], OutPort: out, Row: row})
 		p.rowChained[row] = true
 		p.outChained[out] = true
 	}
 
 	// Run the separable allocator on the unchained remainder. The inner
 	// allocator returns its own scratch; appending copies the grant values
-	// out before they can be invalidated.
+	// out before they can be invalidated. Inner grants index the filtered
+	// request set, so restIdx maps them back onto the caller's indices.
 	p.rest.Config = rs.Config
 	p.rest.Requests = p.rest.Requests[:0]
-	for _, r := range rs.Requests {
+	p.restIdx = p.restIdx[:0]
+	for i, r := range rs.Requests {
 		row := p.cfg.Row(r.Port, r.VC)
 		if p.rowChained[row] || p.outChained[r.OutPort] {
 			continue
 		}
 		p.rest.Requests = append(p.rest.Requests, r)
+		p.restIdx = append(p.restIdx, i)
 	}
-	p.grants = append(p.grants, p.inner.Allocate(&p.rest)...)
+	for _, g := range p.inner.Allocate(&p.rest) {
+		g.Req = p.restIdx[g.Req]
+		p.grants = append(p.grants, g)
+	}
 
 	// Record this cycle's connections for chaining next cycle.
 	for i := range p.prevOut {

@@ -21,11 +21,11 @@ func TestChainingPreservesConnections(t *testing.T) {
 	if len(g1) != 1 {
 		t.Fatalf("cycle 1 granted %d, want 1", len(g1))
 	}
-	winner := g1[0].Port
+	winner := g1[0].Request(rs).Port
 
 	// Cycle 2: same requests; the previous winner must keep the output.
 	g2 := pc.Allocate(rs)
-	if len(g2) != 1 || g2[0].Port != winner {
+	if len(g2) != 1 || g2[0].Request(rs).Port != winner {
 		t.Fatalf("cycle 2 did not preserve connection: %+v (prev winner port %d)", g2, winner)
 	}
 }
@@ -45,15 +45,16 @@ func TestChainingAnyVC(t *testing.T) {
 
 	// Next cycle the same port requests output 1 from VC 2, while port 4
 	// also wants output 1. The chain must win.
-	g2 := pc.Allocate(&RequestSet{Config: cfg, Requests: []Request{
+	rs2 := &RequestSet{Config: cfg, Requests: []Request{
 		{Port: 3, VC: 2, OutPort: 1},
 		{Port: 4, VC: 0, OutPort: 1},
-	}})
+	}}
+	g2 := pc.Allocate(rs2)
 	found := false
 	for _, g := range g2 {
 		if g.OutPort == 1 {
-			if g.Port != 3 {
-				t.Fatalf("output 1 granted to port %d, want chained port 3", g.Port)
+			if p := g.Request(rs2).Port; p != 3 {
+				t.Fatalf("output 1 granted to port %d, want chained port 3", p)
 			}
 			found = true
 		}
@@ -71,10 +72,11 @@ func TestChainingReleasesWhenUnrequested(t *testing.T) {
 	pc.Allocate(&RequestSet{Config: cfg, Requests: []Request{
 		{Port: 0, VC: 0, OutPort: 2},
 	}})
-	g := pc.Allocate(&RequestSet{Config: cfg, Requests: []Request{
+	rs := &RequestSet{Config: cfg, Requests: []Request{
 		{Port: 1, VC: 0, OutPort: 2},
-	}})
-	if len(g) != 1 || g[0].Port != 1 {
+	}}
+	g := pc.Allocate(rs)
+	if len(g) != 1 || g[0].Request(rs).Port != 1 {
 		t.Fatalf("released output not granted to new requestor: %+v", g)
 	}
 }

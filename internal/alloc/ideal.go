@@ -82,8 +82,7 @@ func (id *Ideal) Allocate(rs *RequestSet) []Grant {
 		id.outArbs[out].Ack(line)
 		req := rs.Requests[id.reqIdx[line]]
 		id.grants = append(id.grants, Grant{
-			Port:    req.Port,
-			VC:      req.VC,
+			Req:     id.reqIdx[line],
 			OutPort: out,
 			Row:     rs.Config.Row(req.Port, req.VC),
 		})

@@ -163,8 +163,7 @@ func (s *ISLIP) Allocate(rs *RequestSet) []Grant {
 				continue
 			}
 			idx := s.slots.pick(s.cfg, rs, s.cellReqs.at(row, out), s.vcPick[row])
-			r := rs.Requests[idx]
-			s.grants = append(s.grants, Grant{Port: r.Port, VC: r.VC, OutPort: out, Row: row})
+			s.grants = append(s.grants, Grant{Req: idx, OutPort: out, Row: row})
 			s.rowDone[row] = true
 			s.outDone[out] = true
 			progress = true

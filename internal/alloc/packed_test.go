@@ -97,7 +97,7 @@ func (d *denseSeparableIF) allocate(rs *RequestSet) []Grant {
 		}
 		row := d.outputArbs[out].Arbitrate(d.rowReq)
 		req := rs.Requests[d.candidate[row]]
-		d.grants = append(d.grants, Grant{Port: req.Port, VC: req.VC, OutPort: out, Row: row})
+		d.grants = append(d.grants, Grant{Req: d.candidate[row], OutPort: out, Row: row})
 		d.outputArbs[out].Ack(row)
 		d.inputArbs[row].Ack(d.cfg.Slot(req.VC))
 	}

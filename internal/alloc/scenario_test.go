@@ -30,14 +30,15 @@ func TestFigure4InputPortConstraint(t *testing.T) {
 
 	vixCfg := Config{Ports: 5, VCs: 4, VirtualInputs: 2}
 	vix := NewSeparableIF(vixCfg)
-	got = vix.Allocate(&RequestSet{Config: vixCfg, Requests: requests})
+	vixRS := &RequestSet{Config: vixCfg, Requests: requests}
+	got = vix.Allocate(vixRS)
 	if len(got) != 2 {
 		t.Fatalf("VIX granted %d flits, want 2 (both VCs of the West port)", len(got))
 	}
 	outs := map[int]bool{}
 	for _, g := range got {
-		if g.Port != west {
-			t.Fatalf("unexpected grant port %d", g.Port)
+		if g.Request(vixRS).Port != west {
+			t.Fatalf("unexpected grant port %d", g.Request(vixRS).Port)
 		}
 		outs[g.OutPort] = true
 	}
@@ -166,7 +167,7 @@ func TestVIXTwoFlitsPerPortLimit(t *testing.T) {
 		}
 		groups := map[int]bool{}
 		for _, g := range grants {
-			groups[cfg.Subgroup(g.VC)] = true
+			groups[cfg.Subgroup(g.Request(rs).VC)] = true
 		}
 		if len(groups) != 2 {
 			t.Errorf("%s: both grants from sub-groups %v, want one from each", kind, groups)

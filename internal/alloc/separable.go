@@ -26,6 +26,7 @@ type SeparableIF struct {
 	outputArbs []arb.Arbiter // one per output port, over Rows rows
 
 	// scratch buffers reused across cycles to avoid per-cycle allocation.
+	slotOf    []int32 // per vc: precomputed Config.Slot
 	slotReq   []bool
 	rowReq    []bool   // all-false between phase-two output arbitrations
 	candidate []int    // per row: winning request index; stale for rows absent from outMask
@@ -41,6 +42,7 @@ func NewSeparableIF(cfg Config) *SeparableIF {
 	mustValidate(cfg)
 	s := &SeparableIF{
 		cfg:       cfg,
+		slotOf:    slotTable(cfg),
 		slotReq:   make([]bool, cfg.GroupSize()),
 		rowReq:    make([]bool, cfg.Rows()),
 		candidate: make([]int, cfg.Rows()),
@@ -131,10 +133,10 @@ func (s *SeparableIF) Allocate(rs *RequestSet) []Grant {
 		}
 		row := s.outputArbs[out].Arbitrate(s.rowReq)
 		req := rs.Requests[s.candidate[row]]
-		s.grants = append(s.grants, Grant{Port: req.Port, VC: req.VC, OutPort: out, Row: row})
+		s.grants = append(s.grants, Grant{Req: s.candidate[row], OutPort: out, Row: row})
 		// iSLIP pointer update: both arbiters advance only on a grant.
 		s.outputArbs[out].Ack(row)
-		s.inputArbs[row].Ack(s.cfg.Slot(req.VC))
+		s.inputArbs[row].Ack(int(s.slotOf[req.VC]))
 		// Restore the all-false rowReq invariant and drain the mask for
 		// the next cycle.
 		for wi, w := range mask {
@@ -159,7 +161,7 @@ func (s *SeparableIF) fillSlots(reqIdxs []int, rs *RequestSet) []int {
 		s.slotToReq[i] = -1
 	}
 	for _, idx := range reqIdxs {
-		slot := s.cfg.Slot(rs.Requests[idx].VC)
+		slot := int(s.slotOf[rs.Requests[idx].VC])
 		if s.slotToReq[slot] < 0 {
 			s.slotToReq[slot] = idx
 		}

@@ -191,8 +191,9 @@ func (s *Sparoflo) Allocate(rs *RequestSet) []Grant {
 		}
 		out := s.portPick[p].Arbitrate(s.winsOf[p])
 		s.portPick[p].Ack(out)
-		r := rs.Requests[s.cands[s.outWinner[out]].reqIdx]
-		s.grants = append(s.grants, Grant{Port: r.Port, VC: r.VC, OutPort: out, Row: rs.Config.Row(r.Port, r.VC)})
+		idx := s.cands[s.outWinner[out]].reqIdx
+		r := rs.Requests[idx]
+		s.grants = append(s.grants, Grant{Req: idx, OutPort: out, Row: rs.Config.Row(r.Port, r.VC)})
 	}
 	return s.grants
 }

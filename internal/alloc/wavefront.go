@@ -130,8 +130,7 @@ func (w *Wavefront) Allocate(rs *RequestSet) []Grant {
 				continue
 			}
 			idx := w.slots.pick(w.cfg, rs, w.cellReqs.at(i, j), w.vcPick[i])
-			req := rs.Requests[idx]
-			w.grants = append(w.grants, Grant{Port: req.Port, VC: req.VC, OutPort: j, Row: i})
+			w.grants = append(w.grants, Grant{Req: idx, OutPort: j, Row: i})
 			w.rowBusy[i] = true
 			w.outBusy[j] = true
 		}

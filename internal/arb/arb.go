@@ -51,8 +51,12 @@ func (a *RoundRobin) Arbitrate(req []bool) int {
 	if len(req) != a.n {
 		panic("arb: request vector size mismatch")
 	}
-	for i := 0; i < a.n; i++ {
-		idx := (a.ptr + i) % a.n
+	for idx := a.ptr; idx < a.n; idx++ {
+		if req[idx] {
+			return idx
+		}
+	}
+	for idx := 0; idx < a.ptr; idx++ {
 		if req[idx] {
 			return idx
 		}
@@ -65,7 +69,10 @@ func (a *RoundRobin) Ack(winner int) {
 	if winner < 0 || winner >= a.n {
 		panic("arb: Ack winner out of range")
 	}
-	a.ptr = (winner + 1) % a.n
+	a.ptr = winner + 1
+	if a.ptr == a.n {
+		a.ptr = 0
+	}
 }
 
 // Reset restores priority to requestor 0.

@@ -20,8 +20,9 @@ import (
 // Experiment is a complete, self-contained experiment description.
 // Zero-valued fields take the documented defaults.
 type Experiment struct {
-	// Topology: "mesh" (WxH), "cmesh" or "fbfly" (WxH with Conc
-	// terminals per router). Defaults: mesh 8x8 / cmesh,fbfly 4x4 c4.
+	// Topology: "mesh" or "torus" (WxH), "cmesh" or "fbfly" (WxH with
+	// Conc terminals per router). Defaults: mesh,torus 8x8 /
+	// cmesh,fbfly 4x4 c4.
 	Topology string `json:"topology"`
 	Width    int    `json:"width,omitempty"`
 	Height   int    `json:"height,omitempty"`
@@ -128,6 +129,14 @@ func (e Experiment) BuildTopology() (*topology.Topology, error) {
 			h = w
 		}
 		return topology.NewMesh(w, h), nil
+	case "torus":
+		if w == 0 {
+			w, h = 8, 8
+		}
+		if h == 0 {
+			h = w
+		}
+		return topology.NewTorus(w, h), nil
 	case "cmesh":
 		if w == 0 {
 			w, h = 4, 4

@@ -50,9 +50,9 @@ func (e Experiment) Validate() error {
 	}
 
 	switch e.Topology {
-	case "", "mesh", "cmesh", "fbfly":
+	case "", "mesh", "torus", "cmesh", "fbfly":
 	default:
-		bad("topology", "unknown topology %q; want mesh, cmesh, or fbfly", e.Topology)
+		bad("topology", "unknown topology %q; want mesh, torus, cmesh, or fbfly", e.Topology)
 	}
 	if e.Width < 0 {
 		bad("width", "must be non-negative, got %d", e.Width)
@@ -82,6 +82,9 @@ func (e Experiment) Validate() error {
 	}
 	if k > 0 && vcs > 0 && k > vcs {
 		bad("virtual_inputs", "virtual inputs per port (%d) cannot exceed VCs per port (%d)", k, vcs)
+	}
+	if e.Topology == "torus" && vcs < 2 && (e.Width >= 3 || e.Height >= 3 || e.Width == 0) {
+		bad("vcs", "a torus with wraparound rings needs at least 2 VCs for the dateline classes, got %d", vcs)
 	}
 	if e.Allocator != "" && !alloc.Known(alloc.Kind(e.Allocator)) {
 		bad("allocator", "unknown allocator %q; want one of %v", e.Allocator, alloc.Kinds())

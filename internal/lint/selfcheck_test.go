@@ -247,7 +247,7 @@ func TestStateGraphRootsArePinned(t *testing.T) {
 // Why field.
 func TestShardOwnershipRootsArePinned(t *testing.T) {
 	want := map[string][]string{
-		"internal/network": {"(*Network).shards", "(*Network).routers", "(*Network).act", "(*Network).lastTick"},
+		"internal/network": {"(*Network).shards", "(*Network).routers", "(*Network).act", "(*Network).lastTick", "(*Network).flits"},
 		"internal/harness": {"captured results", "captured st", "captured jobErrs"},
 	}
 	if len(lint.ShardOwnershipRoots) != len(want) {

@@ -1,0 +1,166 @@
+package network
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vix/internal/alloc"
+	"vix/internal/router"
+	"vix/internal/stats"
+	"vix/internal/topology"
+)
+
+// The arena baseline goldens were generated from the pointer-per-flit
+// layout that predates the arena/SoA refactor (regenerate only after an
+// audited physics change with -update-arena-baseline). Every run mode —
+// workers ∈ {1, 4} × activity gate on/off — must reproduce the committed
+// snapshot and the exact ejection sequence digest, so the refactored hot
+// path is pinned byte-for-byte against the layout it replaced, not just
+// against itself.
+var updateArenaBaseline = flag.Bool("update-arena-baseline", false,
+	"rewrite internal/network/testdata/arena_baseline goldens from the current implementation")
+
+type arenaBaselineCase struct {
+	name   string
+	warmup int
+	cycles int
+	build  func() Config
+}
+
+func arenaBaselineCases() []arenaBaselineCase {
+	return []arenaBaselineCase{
+		{
+			// Saturated VIX mesh: the allocator-heavy regime where every
+			// router ticks every cycle.
+			name: "mesh8x8_if2_sat", warmup: 400, cycles: 1200,
+			build: func() Config {
+				cfg := meshConfig(topology.NewMesh(8, 8), alloc.KindSeparableIF, 2, router.PolicyBalanced)
+				cfg.InjectionRate = 0
+				cfg.MaxInjection = true
+				cfg.Seed = 7
+				return cfg
+			},
+		},
+		{
+			// Moderate load on a 16x16 mesh: exercises the activity gate's
+			// mixed busy/idle regime.
+			name: "mesh16x16_if2_low", warmup: 500, cycles: 1500,
+			build: func() Config {
+				return meshConfig(topology.NewMesh(16, 16), alloc.KindSeparableIF, 2, router.PolicyBalanced)
+			},
+		},
+		{
+			// Concentrated mesh with the wavefront allocator: radix-8
+			// routers, four nodes per router.
+			name: "cmesh4x4c4_wavefront", warmup: 400, cycles: 1200,
+			build: func() Config {
+				return meshConfig(topology.NewCMesh(4, 4, 4), alloc.KindWavefront, 1, router.PolicyMaxFree)
+			},
+		},
+		{
+			// Flattened butterfly with packet chaining: the long-radix
+			// geometry plus the stateful chaining allocator.
+			name: "fbfly4x4c4_pc", warmup: 400, cycles: 1200,
+			build: func() Config {
+				return meshConfig(topology.NewFBfly(4, 4, 4), alloc.KindPacketChaining, 2, router.PolicyBalanced)
+			},
+		},
+		{
+			// The scale target itself at light load: 1024 routers, kept
+			// short so the 4-mode matrix stays tractable under -race.
+			name: "mesh32x32_if2_low", warmup: 200, cycles: 600,
+			build: func() Config {
+				cfg := meshConfig(topology.NewMesh(32, 32), alloc.KindSeparableIF, 2, router.PolicyBalanced)
+				cfg.InjectionRate = 0.02
+				return cfg
+			},
+		},
+	}
+}
+
+// runArenaBaseline executes one case in the given mode and returns the
+// measurement snapshot plus a digest over the full ejection sequence
+// (warmup included), which pins the order of every queue append.
+func runArenaBaseline(t *testing.T, tc arenaBaselineCase, workers int, gateOff bool) (stats.Snapshot, string, int) {
+	t.Helper()
+	cfg := tc.build()
+	cfg.Workers = workers
+	cfg.DisableActivityGate = gateOff
+	h := sha256.New()
+	count := 0
+	var buf [7 * 8]byte
+	cfg.OnEject = func(f *router.Flit) {
+		count++
+		binary.LittleEndian.PutUint64(buf[0:], f.PacketID)
+		binary.LittleEndian.PutUint64(buf[8:], uint64(f.Seq))
+		binary.LittleEndian.PutUint64(buf[16:], uint64(f.Src))
+		binary.LittleEndian.PutUint64(buf[24:], uint64(f.Dst))
+		binary.LittleEndian.PutUint64(buf[32:], uint64(f.CreateCycle))
+		binary.LittleEndian.PutUint64(buf[40:], uint64(f.EjectCycle))
+		binary.LittleEndian.PutUint64(buf[48:], uint64(f.Hops))
+		h.Write(buf[:])
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.Warmup(tc.warmup)
+	snap := n.Measure(tc.cycles)
+	return snap, fmt.Sprintf("%x", h.Sum(nil)), count
+}
+
+// formatArenaBaseline renders a run to the golden text format. %v of a
+// Snapshot round-trips every field (including a +Inf fairness ratio,
+// which JSON cannot carry), and the digest line compresses the ejection
+// sequence without storing thousands of records.
+func formatArenaBaseline(snap stats.Snapshot, digest string, count int) string {
+	return fmt.Sprintf("snapshot: %+v\nejections: %d\ndigest: %s\n", snap, count, digest)
+}
+
+func arenaBaselinePath(name string) string {
+	return filepath.Join("testdata", "arena_baseline", name+".golden")
+}
+
+func TestArenaLockstepWithCommittedBaseline(t *testing.T) {
+	for _, tc := range arenaBaselineCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			path := arenaBaselinePath(tc.name)
+			if *updateArenaBaseline {
+				// The canonical reference is the dense serial loop:
+				// workers=1, activity gate off.
+				snap, digest, count := runArenaBaseline(t, tc, 1, true)
+				if count == 0 {
+					t.Fatalf("update: case %s ejected nothing; workload broken", tc.name)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(formatArenaBaseline(snap, digest, count)), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d ejections)", path, count)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-arena-baseline at the pre-arena revision): %v", err)
+			}
+			for _, workers := range []int{1, 4} {
+				for _, gateOff := range []bool{false, true} {
+					snap, digest, count := runArenaBaseline(t, tc, workers, gateOff)
+					got := formatArenaBaseline(snap, digest, count)
+					if got != string(want) {
+						t.Errorf("workers=%d gateOff=%v diverged from committed baseline:\n got %swant %s",
+							workers, gateOff, got, want)
+					}
+				}
+			}
+		})
+	}
+}

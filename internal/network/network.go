@@ -103,6 +103,13 @@ type Config struct {
 	// side by side and asserts identical output.
 	DisableFlitPool bool
 
+	// FlitArenaCapacity pre-sizes the flit arena's slab to at least this
+	// many slots (0 selects the minimum batch). Slot assignment is never
+	// observable, so pre-sizing only avoids mid-run slab growth; the
+	// arena-growth regression test runs grown and pre-sized simulations
+	// side by side and asserts identical output.
+	FlitArenaCapacity int
+
 	// DisableActivityGate turns off the activity-gated tick and runs the
 	// classic dense loops that visit every router and NI each cycle. The
 	// gated tick is byte-identical to the dense one by construction (see
@@ -190,15 +197,30 @@ func (c *Config) Validate() error {
 	return c.Router.Validate()
 }
 
-// flitDelivery and creditDelivery are in-flight events on links.
+// flitDelivery and creditDelivery are in-flight events on links. Flits
+// travel as arena indices; the pointer is resolved only at delivery.
 type flitDelivery struct {
 	router, port int
 	vc           int
-	flit         *router.Flit
+	flit         router.FlitID
 }
 
 type creditDelivery struct {
 	router, outPort, vc int
+}
+
+// queuedPacket is one not-yet-injected packet in an NI source queue:
+// everything inject needs to materialise the packet's flits one per
+// cycle. Queued packets hold no arena slots, so the live flit
+// population — and with it the slab high-water mark — is bounded by the
+// network's buffering, not by source backlog: a saturated run's queues
+// grow by 40 bytes per packet of descriptor, never by flits.
+type queuedPacket struct {
+	id          uint64
+	dst         int
+	tag         uint64
+	size        int
+	createCycle int64
 }
 
 // ni is the network interface of one terminal node: an unbounded source
@@ -207,42 +229,49 @@ type creditDelivery struct {
 // instead of reslicing from the front, so sustained backlog does not leak
 // an ever-growing prefix of consumed slots.
 type ni struct {
-	node    int
-	rng     *sim.RNG
-	queue   []*router.Flit
-	head    int // index of the front flit within queue
-	curVC   int
-	backlog int // packets currently in queue
+	node  int
+	rng   *sim.RNG
+	queue []queuedPacket
+	head  int // index of the front packet within queue
+	seq   int // flits of the front packet already injected
+	flits int // queued flits not yet injected
+	curVC int
 }
 
 // pending returns the number of queued flits.
-func (q *ni) pending() int { return len(q.queue) - q.head }
+func (q *ni) pending() int { return q.flits }
 
-// front returns the next flit to inject; q must be non-empty.
-func (q *ni) front() *router.Flit { return q.queue[q.head] }
+// backlog returns the number of queued packets.
+func (q *ni) backlog() int { return len(q.queue) - q.head }
 
-// push appends a flit, compacting consumed front slots first when the
+// front returns the next packet to inject flits of; q must be non-empty.
+func (q *ni) front() *queuedPacket { return &q.queue[q.head] }
+
+// push appends a packet, compacting consumed front slots first when the
 // backing array is full so append never grows it unnecessarily.
-func (q *ni) push(f *router.Flit) {
+func (q *ni) push(p queuedPacket) {
 	if q.head > 0 && len(q.queue) == cap(q.queue) {
 		n := copy(q.queue, q.queue[q.head:])
-		for i := n; i < len(q.queue); i++ {
-			q.queue[i] = nil
-		}
 		q.queue = q.queue[:n]
 		q.head = 0
 	}
-	q.queue = append(q.queue, f)
+	q.queue = append(q.queue, p)
+	q.flits += p.size
 }
 
-// pop removes the front flit, clearing its slot so the queue does not
-// retain a pointer to a flit now owned by the network.
-func (q *ni) pop() {
-	q.queue[q.head] = nil
-	q.head++
-	if q.head == len(q.queue) {
-		q.queue = q.queue[:0]
-		q.head = 0
+// popFlit consumes one flit of the front packet (of the given size),
+// retiring the packet when its tail goes. Consumed slots hold no
+// pointers; compaction in push reclaims them.
+func (q *ni) popFlit(size int) {
+	q.flits--
+	q.seq++
+	if q.seq == size {
+		q.seq = 0
+		q.head++
+		if q.head == len(q.queue) {
+			q.queue = q.queue[:0]
+			q.head = 0
+		}
 	}
 }
 
@@ -261,15 +290,16 @@ type Network struct {
 	qlen   int
 	flitQ  [][]flitDelivery
 	credQ  [][]creditDelivery
-	ejectQ [][]*router.Flit
+	ejectQ [][]router.FlitID
 
 	col *stats.Collector
 
-	// flitPool is the free list flits are recycled through: popped (and
-	// zeroed) at packet creation, pushed back at ejection. Its high-water
+	// flits is the network's flit arena: every live flit occupies one slot
+	// of its contiguous slab, named by FlitID everywhere in the hot path.
+	// The free-index stack replaces the old pointer pool; its high-water
 	// mark is bounded by the flits live at once (buffers, links, and the
 	// small NI backlogs), so the steady state allocates nothing.
-	flitPool []*router.Flit
+	flits *router.FlitArena
 
 	inFlight int64 // flits inside routers or on links (not source queues)
 
@@ -323,10 +353,20 @@ func New(cfg Config) (*Network, error) {
 	n.qlen++
 	n.flitQ = make([][]flitDelivery, n.qlen)
 	n.credQ = make([][]creditDelivery, n.qlen)
-	n.ejectQ = make([][]*router.Flit, n.qlen)
+	n.ejectQ = make([][]router.FlitID, n.qlen)
 
+	n.flits = router.NewFlitArena(cfg.FlitArenaCapacity, cfg.DisableFlitPool)
+	arena := router.NewArena(topo.NumRouters, cfg.Router, n.flits)
 	root := sim.NewRNG(cfg.Seed)
 	n.routers = make([]*router.Router, topo.NumRouters)
+	vcRange := func(r int) router.VCRangeFunc { return nil }
+	if topo.Kind == topology.KindTorus {
+		if (topo.W >= 3 || topo.H >= 3) && cfg.Router.VCs < 2 {
+			return nil, fmt.Errorf("network: torus %dx%d needs at least 2 VCs for the dateline classes, got %d",
+				topo.W, topo.H, cfg.Router.VCs)
+		}
+		vcRange = n.torusVCRangeFunc
+	}
 	for r := 0; r < topo.NumRouters; r++ {
 		ports := make([]router.PortInfo, topo.Radix)
 		for p, c := range topo.Conn[r] {
@@ -336,7 +376,7 @@ func New(cfg Config) (*Network, error) {
 		if err != nil {
 			return nil, err
 		}
-		n.routers[r] = router.New(r, cfg.Router, ports, a, n.nextDimFunc(r))
+		n.routers[r] = router.New(r, cfg.Router, ports, a, n.nextDimFunc(r), vcRange(r), arena)
 	}
 	n.nis = make([]*ni, topo.NumNodes)
 	for node := 0; node < topo.NumNodes; node++ {
@@ -355,6 +395,28 @@ func New(cfg Config) (*Network, error) {
 	}
 	n.initParallel()
 	return n, nil
+}
+
+// torusVCRangeFunc returns the dateline VC restriction for router r on a
+// torus: packets still headed for their ring's wrap edge may only take
+// the lower half of the downstream VCs (class 0), packets past it — or
+// never crossing — the upper half (class 1). Splitting every output
+// port's VC set into the two dateline classes cuts the wraparound
+// channel-dependency cycles, keeping minimal routing deadlock-free (see
+// routing.TorusVCClass for the argument).
+func (n *Network) torusVCRangeFunc(r int) router.VCRangeFunc {
+	vcs := n.cfg.Router.VCs
+	half := vcs / 2
+	return func(outPort, dst int) (int, int) {
+		switch routing.TorusVCClass(n.topo, r, outPort, dst) {
+		case 0:
+			return 0, half
+		case 1:
+			return half, vcs
+		default:
+			return 0, vcs
+		}
+	}
 }
 
 // nextDimFunc returns the lookahead dimension classifier for router r:
@@ -389,25 +451,6 @@ func (n *Network) QueuedAtSources() int64 {
 		q += int64(nif.pending())
 	}
 	return q
-}
-
-// newFlit returns a zeroed flit, recycled from the pool when possible.
-func (n *Network) newFlit() *router.Flit {
-	if n.cfg.DisableFlitPool || len(n.flitPool) == 0 {
-		return &router.Flit{}
-	}
-	f := n.flitPool[len(n.flitPool)-1]
-	n.flitPool = n.flitPool[:len(n.flitPool)-1]
-	*f = router.Flit{}
-	return f
-}
-
-// recycleFlit returns an ejected flit to the pool.
-func (n *Network) recycleFlit(f *router.Flit) {
-	if n.cfg.DisableFlitPool {
-		return
-	}
-	n.flitPool = append(n.flitPool, f)
 }
 
 // Step advances the simulation one cycle.
@@ -446,8 +489,8 @@ func (n *Network) Step() {
 		}
 	}
 	n.credQ[slot] = n.credQ[slot][:0]
-	for _, f := range n.ejectQ[slot] {
-		n.eject(f)
+	for _, id := range n.ejectQ[slot] {
+		n.eject(id)
 	}
 	n.ejectQ[slot] = n.ejectQ[slot][:0]
 
@@ -566,10 +609,10 @@ func (n *Network) forward(r int, e router.Emission) {
 	switch conn.Kind {
 	case topology.Link:
 		n.col.LinkTraversal()
-		f := e.Flit
+		f := n.flits.At(e.Flit)
 		f.Route = n.route(n.topo, conn.PeerRouter, f.Dst)
 		n.flitQ[arrive] = append(n.flitQ[arrive], flitDelivery{
-			router: conn.PeerRouter, port: conn.PeerPort, vc: f.VC, flit: f,
+			router: conn.PeerRouter, port: conn.PeerPort, vc: f.VC, flit: e.Flit,
 		})
 	case topology.Local:
 		n.ejectQ[arrive] = append(n.ejectQ[arrive], e.Flit)
@@ -588,8 +631,11 @@ func (n *Network) scheduleCredit(r int, cm router.CreditMsg) {
 	})
 }
 
-// eject retires a flit at its destination and updates statistics.
-func (n *Network) eject(f *router.Flit) {
+// eject retires a flit at its destination and updates statistics. The
+// pointer is resolved once here — OnEject keeps its *Flit signature —
+// and the slot returns to the arena's free stack afterwards.
+func (n *Network) eject(id router.FlitID) {
+	f := n.flits.At(id)
 	f.EjectCycle = n.cycle
 	n.inFlight--
 	n.lastEjectCycle = n.cycle
@@ -606,7 +652,7 @@ func (n *Network) eject(f *router.Flit) {
 	if n.cfg.OnEject != nil {
 		n.cfg.OnEject(f)
 	}
-	n.recycleFlit(f)
+	n.flits.Free(id)
 }
 
 // Routers exposes the router instances; tests use it to check credit and
@@ -623,7 +669,7 @@ func (n *Network) generate(nif *ni) {
 		return
 	}
 	if n.cfg.MaxInjection {
-		for nif.backlog < 2 {
+		for nif.backlog() < 2 {
 			n.enqueuePacket(nif, PacketSpec{
 				Dst:  n.cfg.Pattern.Dest(nif.node, nif.rng),
 				Size: n.cfg.PacketSize,
@@ -649,21 +695,13 @@ func (n *Network) enqueuePacket(nif *ni, spec PacketSpec) {
 	if size <= 0 {
 		panic("network: packet size must be positive")
 	}
-	for i := 0; i < size; i++ {
-		f := n.newFlit()
-		f.PacketID = id
-		f.Type = router.PacketFlitType(i, size)
-		f.Src = nif.node
-		f.Dst = spec.Dst
-		f.Tag = spec.Tag
-		f.Seq = i
-		f.PacketSize = size
-		f.CreateCycle = n.cycle
-		f.Route = -1
-		f.VC = -1
-		nif.push(f)
-	}
-	nif.backlog++
+	nif.push(queuedPacket{
+		id:          id,
+		dst:         spec.Dst,
+		tag:         spec.Tag,
+		size:        size,
+		createCycle: n.cycle,
+	})
 	if n.actNI != nil {
 		n.actNI.Set(nif.node)
 	}
@@ -676,17 +714,18 @@ func (n *Network) inject(nif *ni) {
 	if nif.pending() == 0 {
 		return
 	}
-	f := nif.front()
+	p := nif.front()
 	r := n.topo.NodeRouter[nif.node]
 	port := n.topo.NodePort[nif.node]
 	rt := n.routers[r]
+	ft := router.PacketFlitType(nif.seq, p.size)
+	route := n.route(n.topo, r, p.dst)
 
-	if f.Type.IsHead() {
+	if ft.IsHead() {
 		if nif.curVC >= 0 {
 			panic("network: head flit while previous packet still streaming")
 		}
-		f.Route = n.route(n.topo, r, f.Dst)
-		vc := n.chooseInjectionVC(rt, r, port, f)
+		vc := n.chooseInjectionVC(rt, r, port, route)
 		if vc < 0 {
 			return // no space at the local port this cycle
 		}
@@ -695,24 +734,36 @@ func (n *Network) inject(nif *ni) {
 	if rt.BufferSpace(port, nif.curVC) == 0 {
 		return
 	}
-	f.Route = n.route(n.topo, r, f.Dst)
-	rt.DeliverFlit(port, nif.curVC, f)
+	// The flit is materialised only now that it is certain to enter the
+	// network, so source backlog never pins arena slots.
+	fid := n.flits.Alloc()
+	f := n.flits.At(fid)
+	f.PacketID = p.id
+	f.Type = ft
+	f.Src = nif.node
+	f.Dst = p.dst
+	f.Tag = p.tag
+	f.Seq = nif.seq
+	f.PacketSize = p.size
+	f.CreateCycle = p.createCycle
+	f.Route = route
+	f.VC = -1
+	rt.DeliverFlit(port, nif.curVC, fid)
 	n.col.BufferWrite()
 	n.inFlight++
-	nif.pop()
+	nif.popFlit(p.size)
 	if n.actR != nil {
 		n.actR.Set(r)
 		if nif.pending() == 0 {
 			n.actNI.Clear(nif.node)
 		}
 	}
-	if f.Type.IsHead() {
+	if ft.IsHead() {
 		f.InjectCycle = n.cycle
 		n.col.PacketInjected(f.PacketSize)
 	}
-	if f.Type.IsTail() {
+	if ft.IsTail() {
 		nif.curVC = -1
-		nif.backlog--
 	}
 }
 
@@ -720,9 +771,9 @@ func (n *Network) inject(nif *ni) {
 // prefer the sub-group matching the packet's first route dimension (so
 // VIX virtual inputs at the injection router see diverse requests), then
 // the VC with the most space. Returns -1 if nothing has space.
-func (n *Network) chooseInjectionVC(rt *router.Router, r, port int, f *router.Flit) int {
+func (n *Network) chooseInjectionVC(rt *router.Router, r, port, route int) int {
 	acfg := n.cfg.Router.Alloc()
-	dim := n.topo.Conn[r][f.Route].Dim
+	dim := n.topo.Conn[r][route].Dim
 	prefGroup := 0
 	if acfg.VirtualInputs > 1 && dim != topology.DimX {
 		prefGroup = acfg.VirtualInputs - 1

@@ -151,7 +151,8 @@ func (n *Network) runShard(si int) {
 			conn := &n.topo.Conn[r][e.OutPort]
 			if conn.Kind == topology.Link {
 				d.LinkTraversals++
-				e.Flit.Route = n.route(n.topo, conn.PeerRouter, e.Flit.Dst)
+				f := n.flits.At(e.Flit)
+				f.Route = n.route(n.topo, conn.PeerRouter, f.Dst)
 			}
 		}
 	}
@@ -183,7 +184,8 @@ func (n *Network) runActive(si int) {
 			conn := &n.topo.Conn[r][e.OutPort]
 			if conn.Kind == topology.Link {
 				d.LinkTraversals++
-				e.Flit.Route = n.route(n.topo, conn.PeerRouter, e.Flit.Dst)
+				f := n.flits.At(e.Flit)
+				f.Route = n.route(n.topo, conn.PeerRouter, f.Dst)
 			}
 		}
 	}
@@ -262,7 +264,7 @@ func (n *Network) deliverEmission(r int, e router.Emission) {
 	switch conn.Kind {
 	case topology.Link:
 		n.flitQ[arrive] = append(n.flitQ[arrive], flitDelivery{
-			router: conn.PeerRouter, port: conn.PeerPort, vc: e.Flit.VC, flit: e.Flit,
+			router: conn.PeerRouter, port: conn.PeerPort, vc: n.flits.At(e.Flit).VC, flit: e.Flit,
 		})
 	case topology.Local:
 		n.ejectQ[arrive] = append(n.ejectQ[arrive], e.Flit)

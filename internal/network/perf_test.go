@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"vix/internal/alloc"
@@ -63,6 +64,19 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 				avg := testing.AllocsPerRun(200, func() { n.Step() })
 				if avg != 0 {
 					t.Fatalf("Network.Step allocates %v times per cycle in steady state; want 0", avg)
+				}
+				// Malloc count alone would miss a regression that trades
+				// few-but-huge allocations (slab churn) for many small
+				// ones; pin the byte total to exactly zero as well.
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
+				for i := 0; i < 200; i++ {
+					n.Step()
+				}
+				runtime.ReadMemStats(&after)
+				if d := after.TotalAlloc - before.TotalAlloc; d != 0 {
+					t.Fatalf("Network.Step allocated %d bytes over 200 steady-state cycles; want 0", d)
 				}
 			})
 		}

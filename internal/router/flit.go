@@ -87,6 +87,92 @@ func PacketFlitType(i, size int) FlitType {
 	}
 }
 
+// FlitID addresses a flit within its network's FlitArena. All hot-path
+// structures — VC buffer rings, link and ejection events, NI source
+// queues — carry these dense indices instead of *Flit pointers: the whole
+// flit population lives in one contiguous slab, so a tick walks linear
+// memory, and an index (unlike a pointer) survives slab growth and is a
+// checkpoint-friendly stable name for the flit.
+type FlitID int32
+
+// NoFlit is the sentinel for "no flit" in FlitID-valued slots.
+const NoFlit FlitID = -1
+
+// flitArenaMinBatch is the smallest slab extension; growth otherwise
+// doubles the slab so a run reaches its high-water mark in O(log n)
+// allocations and the steady state allocates nothing.
+const flitArenaMinBatch = 256
+
+// FlitArena owns every flit of one network in a single contiguous slab.
+// The free list is a LIFO index stack: Alloc pops (growing the slab in
+// batches when empty), Free pushes. Identifiers are never compared or
+// ordered by the simulation — which slot a flit happens to occupy has no
+// observable effect — so slab growth mid-run cannot perturb statistics
+// or RNG streams.
+type FlitArena struct {
+	slab []Flit
+	free []FlitID
+	// noReuse turns Free into a no-op so every Alloc returns a
+	// never-used slot (Config.DisableFlitPool): the arena equivalent of
+	// allocating each flit fresh, for determinism regression tests.
+	noReuse bool
+}
+
+// NewFlitArena returns an arena with at least capacity free slots.
+func NewFlitArena(capacity int, noReuse bool) *FlitArena {
+	a := &FlitArena{noReuse: noReuse}
+	if capacity < flitArenaMinBatch {
+		capacity = flitArenaMinBatch
+	}
+	a.grow(capacity)
+	return a
+}
+
+// grow extends the slab by batch slots and stacks them as free. New ids
+// are pushed in ascending order, so they are handed out descending —
+// matching the LIFO discipline of the old pointer free list.
+func (a *FlitArena) grow(batch int) {
+	base := len(a.slab)
+	a.slab = append(a.slab, make([]Flit, batch)...)
+	for i := 0; i < batch; i++ {
+		a.free = append(a.free, FlitID(base+i))
+	}
+}
+
+// At resolves id to the flit it names. The pointer is stable for the
+// arena's lifetime EXCEPT across Alloc, which may grow the slab; callers
+// must not hold it across an Alloc call.
+func (a *FlitArena) At(id FlitID) *Flit { return &a.slab[id] }
+
+// Alloc returns the id of a zeroed flit, growing the slab if no free
+// slot remains.
+func (a *FlitArena) Alloc() FlitID {
+	if len(a.free) == 0 {
+		batch := len(a.slab)
+		if batch < flitArenaMinBatch {
+			batch = flitArenaMinBatch
+		}
+		a.grow(batch)
+	}
+	id := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	a.slab[id] = Flit{}
+	return id
+}
+
+// Free returns id's slot to the free stack (a no-op under noReuse).
+func (a *FlitArena) Free(id FlitID) {
+	if !a.noReuse {
+		a.free = append(a.free, id)
+	}
+}
+
+// Cap returns the slab capacity in flits; tests use it to detect growth.
+func (a *FlitArena) Cap() int { return len(a.slab) }
+
+// Live returns the number of allocated (not free) slots.
+func (a *FlitArena) Live() int { return len(a.slab) - len(a.free) }
+
 // NewPacket builds the flit sequence for one packet of size flits.
 func NewPacket(id uint64, src, dst, size int, createCycle int64) []*Flit {
 	if size <= 0 {

@@ -33,8 +33,9 @@ const (
 type vaContext struct {
 	// free[v] reports whether downstream VC v is unallocated.
 	free []bool
-	// credits[v] is the current credit count of downstream VC v.
-	credits []int
+	// credits[v] is the current credit count of downstream VC v (a view
+	// into the router's arena segment).
+	credits []int32
 	// busyInGroup[g] counts allocated (busy) VCs in sub-group g.
 	busyInGroup []int
 	// nextDim is the dimension class of the output port the packet will
@@ -108,7 +109,7 @@ func bestInGroup(ctx *vaContext, g int) int {
 
 // bestIn returns the free VC with the most credits in [lo, hi), or -1.
 func bestIn(ctx *vaContext, lo, hi int) int {
-	best, bestCred := -1, -1
+	best, bestCred := -1, int32(-1)
 	for v := lo; v < hi; v++ {
 		if ctx.free[v] && ctx.credits[v] > bestCred {
 			best, bestCred = v, ctx.credits[v]

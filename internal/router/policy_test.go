@@ -7,7 +7,7 @@ import (
 )
 
 // ctx6x2 builds a vaContext for 6 VCs in 2 sub-groups of 3.
-func ctx6x2(free []bool, credits []int, busyInGroup []int, dim topology.Dim) *vaContext {
+func ctx6x2(free []bool, credits []int32, busyInGroup []int, dim topology.Dim) *vaContext {
 	return &vaContext{
 		free: free, credits: credits, busyInGroup: busyInGroup,
 		nextDim: dim, groups: 2, groupSize: 3,
@@ -17,7 +17,7 @@ func ctx6x2(free []bool, credits []int, busyInGroup []int, dim topology.Dim) *va
 func TestMaxFreePicksMostCredits(t *testing.T) {
 	ctx := ctx6x2(
 		[]bool{true, true, true, true, true, true},
-		[]int{1, 4, 2, 5, 0, 3},
+		[]int32{1, 4, 2, 5, 0, 3},
 		[]int{0, 0}, topology.DimX,
 	)
 	if got := PolicyMaxFree.choose(ctx); got != 3 {
@@ -28,7 +28,7 @@ func TestMaxFreePicksMostCredits(t *testing.T) {
 func TestMaxFreeSkipsBusy(t *testing.T) {
 	ctx := ctx6x2(
 		[]bool{false, true, false, false, true, false},
-		[]int{9, 1, 9, 9, 2, 9},
+		[]int32{9, 1, 9, 9, 2, 9},
 		[]int{2, 2}, topology.DimY,
 	)
 	if got := PolicyMaxFree.choose(ctx); got != 4 {
@@ -39,7 +39,7 @@ func TestMaxFreeSkipsBusy(t *testing.T) {
 func TestMaxFreeNoFreeVC(t *testing.T) {
 	ctx := ctx6x2(
 		[]bool{false, false, false, false, false, false},
-		[]int{0, 0, 0, 0, 0, 0},
+		[]int32{0, 0, 0, 0, 0, 0},
 		[]int{3, 3}, topology.DimX,
 	)
 	if got := PolicyMaxFree.choose(ctx); got != -1 {
@@ -51,7 +51,7 @@ func TestMaxFreeNoFreeVC(t *testing.T) {
 // ejecting to the last sub-group.
 func TestDimensionGroupPreference(t *testing.T) {
 	free := []bool{true, true, true, true, true, true}
-	creds := []int{3, 3, 3, 3, 3, 3}
+	creds := []int32{3, 3, 3, 3, 3, 3}
 	ctx := ctx6x2(free, creds, []int{0, 0}, topology.DimX)
 	if got := PolicyDimension.choose(ctx); got > 2 {
 		t.Fatalf("X continuation assigned VC %d outside sub-group 0", got)
@@ -71,7 +71,7 @@ func TestDimensionGroupPreference(t *testing.T) {
 func TestDimensionFallback(t *testing.T) {
 	ctx := ctx6x2(
 		[]bool{false, false, false, true, true, true},
-		[]int{0, 0, 0, 2, 5, 1},
+		[]int32{0, 0, 0, 2, 5, 1},
 		[]int{3, 0}, topology.DimX,
 	)
 	if got := PolicyDimension.choose(ctx); got != 4 {
@@ -86,7 +86,7 @@ func TestBalancedSteersToLighterGroup(t *testing.T) {
 	// group 1 has none: balanced steers to group 1.
 	ctx := ctx6x2(
 		[]bool{false, false, true, true, true, true},
-		[]int{0, 0, 4, 3, 3, 3},
+		[]int32{0, 0, 4, 3, 3, 3},
 		[]int{2, 0}, topology.DimX,
 	)
 	if got := PolicyBalanced.choose(ctx); got < 3 {
@@ -95,7 +95,7 @@ func TestBalancedSteersToLighterGroup(t *testing.T) {
 	// Equal occupancy: keep the dimension preference.
 	ctx = ctx6x2(
 		[]bool{true, true, true, true, true, true},
-		[]int{3, 3, 3, 3, 3, 3},
+		[]int32{3, 3, 3, 3, 3, 3},
 		[]int{1, 1}, topology.DimX,
 	)
 	if got := PolicyBalanced.choose(ctx); got > 2 {
@@ -107,7 +107,7 @@ func TestBalancedSteersToLighterGroup(t *testing.T) {
 func TestPoliciesDegenerateAtKOne(t *testing.T) {
 	ctx := &vaContext{
 		free:        []bool{true, false, true, true},
-		credits:     []int{1, 9, 7, 2},
+		credits:     []int32{1, 9, 7, 2},
 		busyInGroup: []int{1},
 		nextDim:     topology.DimY,
 		groups:      1,
@@ -128,7 +128,7 @@ func TestUnknownPolicyPanics(t *testing.T) {
 	}()
 	PolicyKind("bogus").choose(ctx6x2(
 		[]bool{true, true, true, true, true, true},
-		[]int{1, 1, 1, 1, 1, 1},
+		[]int32{1, 1, 1, 1, 1, 1},
 		[]int{0, 0}, topology.DimX,
 	))
 }

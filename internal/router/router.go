@@ -57,7 +57,7 @@ type PortInfo struct {
 // switch and link traversal.
 type Emission struct {
 	OutPort int
-	Flit    *Flit
+	Flit    FlitID
 }
 
 // CreditMsg is a credit freed by a flit departing input (Port, VC),
@@ -71,34 +71,140 @@ type CreditMsg struct {
 // outPort (lookahead information for the Section 2.3 policies).
 type NextDimFunc func(outPort, dst int) topology.Dim
 
-// inputVC is the state of one virtual channel at one input port.
-type inputVC struct {
-	buf      []*Flit
-	ovcValid bool
-	ovc      int // allocated downstream VC for the current packet
-	outPort  int // route of the current packet
-	// wait counts consecutive cycles the front flit has requested the
-	// switch without winning; age-aware allocators consume it.
-	wait int
+// VCRangeFunc returns the downstream-VC index range [lo, hi) a packet
+// destined to dst may be assigned when leaving through outPort. The
+// network uses it to impose topology-level VC restrictions — the torus
+// dateline classes — on top of the Section 2.3 assignment policy: the
+// policy chooses freely among the VCs the range admits. A nil func (the
+// default) admits every VC.
+type VCRangeFunc func(outPort, dst int) (lo, hi int)
+
+// Cache-line padding granularity for arena segments: per-router strides
+// are rounded so no two routers' hot state shares a 64-byte line, which
+// keeps the sharded phase-A workers from false-sharing during the
+// parallel tick. int32 slots pad to 16 elements, bool slots to 64.
+const (
+	padI32  = 16
+	padBool = 64
+)
+
+func padTo(n, m int) int { return (n + m - 1) / m * m }
+
+// Arena holds the hot per-router state of every router in one network as
+// contiguous structure-of-arrays slabs. Each router owns one cache-line-
+// aligned segment of each slab (sliced out at construction), so a full
+// network tick walks linear memory in router order and the sharded
+// phase-A workers touch disjoint line-aligned ranges.
+//
+// Layout per router segment, indexed by ivc = port*VCs + vc:
+//
+//	bufs    [ivc*BufDepth : ...]  VC buffer ring storage (FlitIDs)
+//	head    [ivc]                 ring head slot
+//	count   [ivc]                 buffered flits in the ring
+//	ovc     [ivc]                 allocated downstream VC (-1 = none)
+//	outPort [ivc]                 route of the current packet
+//	wait    [ivc]                 cycles the front flit has waited
+//	frontRoute, frontDst, frontHead [ivc]
+//	                              cached Route/Dst/IsHead of the ring's
+//	                              front flit (immutable while buffered),
+//	                              so VC allocation never touches the slab
+//	credits [out*VCs + v]         downstream credits per output VC
+//	busy    [out*VCs + v]         downstream VC held by an input VC here
+type Arena struct {
+	flits *FlitArena
+	cfg   Config
+	n     int
+
+	bufStride  int // FlitID slots per router (padded)
+	i32Stride  int // int32 slots per router (padded)
+	boolStride int // bool slots per router (padded)
+
+	bufs       []FlitID
+	head       []int32
+	count      []int32
+	ovc        []int32
+	outPort    []int32
+	wait       []int32
+	frontRoute []int32
+	frontDst   []int32
+	credits    []int32
+	busy       []bool
+	frontHead  []bool
 }
 
-// outputPort tracks the downstream buffer state for one output port.
-type outputPort struct {
-	info    PortInfo
-	credits []int  // per downstream VC
-	busy    []bool // downstream VC held by one of this router's input VCs
+// NewArena builds the shared state slabs for numRouters routers of
+// identical cfg geometry, all resolving flits through the given arena.
+func NewArena(numRouters int, cfg Config, flits *FlitArena) *Arena {
+	if err := cfg.Validate(); err != nil {
+		panic("router: invalid config: " + strings.TrimPrefix(err.Error(), "router: "))
+	}
+	if numRouters <= 0 {
+		panic(fmt.Sprintf("router: arena for %d routers", numRouters))
+	}
+	pv := cfg.Ports * cfg.VCs
+	a := &Arena{
+		flits:      flits,
+		cfg:        cfg,
+		n:          numRouters,
+		bufStride:  padTo(pv*cfg.BufDepth, padI32),
+		i32Stride:  padTo(pv, padI32),
+		boolStride: padTo(pv, padBool),
+	}
+	a.bufs = make([]FlitID, numRouters*a.bufStride)
+	for i := range a.bufs {
+		a.bufs[i] = NoFlit
+	}
+	a.head = make([]int32, numRouters*a.i32Stride)
+	a.count = make([]int32, numRouters*a.i32Stride)
+	a.ovc = make([]int32, numRouters*a.i32Stride)
+	a.outPort = make([]int32, numRouters*a.i32Stride)
+	a.wait = make([]int32, numRouters*a.i32Stride)
+	a.frontRoute = make([]int32, numRouters*a.i32Stride)
+	a.frontDst = make([]int32, numRouters*a.i32Stride)
+	a.credits = make([]int32, numRouters*a.i32Stride)
+	a.busy = make([]bool, numRouters*a.boolStride)
+	a.frontHead = make([]bool, numRouters*a.boolStride)
+	for i := range a.ovc {
+		a.ovc[i] = -1
+	}
+	for rtr := 0; rtr < numRouters; rtr++ {
+		seg := a.credits[rtr*a.i32Stride:]
+		for v := 0; v < pv; v++ {
+			seg[v] = int32(cfg.BufDepth)
+		}
+	}
+	return a
 }
 
-// Router is a cycle-accurate virtual-channel router.
+// Flits returns the flit arena the routers resolve FlitIDs through.
+func (a *Arena) Flits() *FlitArena { return a.flits }
+
+// Router is a cycle-accurate virtual-channel router. Its hot state lives
+// in its network's Arena; the struct itself holds slice views into that
+// router's segment of each slab, plus cold configuration and scratch.
 type Router struct {
 	id      int
 	cfg     Config
 	acfg    alloc.Config
 	alloc   alloc.Allocator
 	nextDim NextDimFunc
+	vcRange VCRangeFunc
+	flits   *FlitArena
 
-	in  [][]*inputVC // [port][vc]
-	out []*outputPort
+	ports []PortInfo
+
+	// Arena segment views (see Arena layout).
+	buf        []FlitID
+	head       []int32
+	count      []int32
+	ovc        []int32
+	outPort    []int32
+	wait       []int32
+	frontRoute []int32
+	frontDst   []int32
+	credits    []int32
+	busy       []bool
+	frontHead  []bool
 
 	// occ counts buffered flits across all input VCs, maintained
 	// incrementally (DeliverFlit adds, grant departures subtract) so the
@@ -107,10 +213,21 @@ type Router struct {
 
 	vaOffset int // rotating VC-allocation priority
 
+	// vaPending counts input VCs whose front flit awaits VC allocation
+	// (count > 0 with no output VC), maintained incrementally like occ, so
+	// allocateVCs can stop scanning once every pending VC has been
+	// visited. The visit order over pending VCs is unchanged, so results
+	// are identical to the full scan.
+	vaPending int
+
 	// justAllocated marks input VCs whose output VC was granted in the
 	// current Tick; with NonSpeculative set they sit out this cycle's
 	// switch allocation.
 	justAllocated []bool
+
+	// subgroupOf[v] precomputes acfg.Subgroup — two integer divisions —
+	// for the chooseOVC scan over all VCs.
+	subgroupOf []int32
 
 	// scratch
 	reqs        alloc.RequestSet
@@ -122,43 +239,63 @@ type Router struct {
 
 // New builds a router. ports describes the wiring class of each port
 // (symmetric in/out). The allocator must match cfg.Alloc() geometry.
-func New(id int, cfg Config, ports []PortInfo, allocator alloc.Allocator, nextDim NextDimFunc) *Router {
+// vcRange optionally restricts output-VC assignment per (outPort, dst)
+// (nil: no restriction). arena is the shared per-network state arena;
+// the router occupies slot id. A nil arena gives the router a private
+// single-slot arena with its own flit slab (standalone/test use).
+func New(id int, cfg Config, ports []PortInfo, allocator alloc.Allocator, nextDim NextDimFunc, vcRange VCRangeFunc, arena *Arena) *Router {
 	if err := cfg.Validate(); err != nil {
 		panic("router: invalid config: " + strings.TrimPrefix(err.Error(), "router: "))
 	}
 	if len(ports) != cfg.Ports {
 		panic(fmt.Sprintf("router: %d port infos for %d ports", len(ports), cfg.Ports))
 	}
+	slot := id
+	if arena == nil {
+		arena = NewArena(1, cfg, NewFlitArena(cfg.Ports*cfg.VCs*cfg.BufDepth, false))
+		slot = 0
+	}
+	if arena.cfg.Ports != cfg.Ports || arena.cfg.VCs != cfg.VCs || arena.cfg.BufDepth != cfg.BufDepth {
+		panic(fmt.Sprintf("router %d: arena geometry %d/%d/%d does not match config %d/%d/%d",
+			id, arena.cfg.Ports, arena.cfg.VCs, arena.cfg.BufDepth, cfg.Ports, cfg.VCs, cfg.BufDepth))
+	}
+	if slot < 0 || slot >= arena.n {
+		panic(fmt.Sprintf("router %d: arena holds %d slots", id, arena.n))
+	}
+	pv := cfg.Ports * cfg.VCs
 	r := &Router{
-		id:            id,
-		cfg:           cfg,
-		acfg:          cfg.Alloc(),
-		alloc:         allocator,
-		nextDim:       nextDim,
-		justAllocated: make([]bool, cfg.Ports*cfg.VCs),
+		id:      id,
+		cfg:     cfg,
+		acfg:    cfg.Alloc(),
+		alloc:   allocator,
+		nextDim: nextDim,
+		vcRange: vcRange,
+		flits:   arena.flits,
+		ports:   append([]PortInfo(nil), ports...),
+
+		buf:        arena.bufs[slot*arena.bufStride:][:pv*cfg.BufDepth],
+		head:       arena.head[slot*arena.i32Stride:][:pv],
+		count:      arena.count[slot*arena.i32Stride:][:pv],
+		ovc:        arena.ovc[slot*arena.i32Stride:][:pv],
+		outPort:    arena.outPort[slot*arena.i32Stride:][:pv],
+		wait:       arena.wait[slot*arena.i32Stride:][:pv],
+		frontRoute: arena.frontRoute[slot*arena.i32Stride:][:pv],
+		frontDst:   arena.frontDst[slot*arena.i32Stride:][:pv],
+		credits:    arena.credits[slot*arena.i32Stride:][:pv],
+		busy:       arena.busy[slot*arena.boolStride:][:pv],
+		frontHead:  arena.frontHead[slot*arena.boolStride:][:pv],
+
+		justAllocated: make([]bool, pv),
+		subgroupOf:    make([]int32, cfg.VCs),
 		busyInGroup:   make([]int, cfg.VirtualInputs),
 		freeScratch:   make([]bool, cfg.VCs),
 		ems:           make([]Emission, 0, cfg.Ports),
 		creds:         make([]CreditMsg, 0, cfg.Ports),
 	}
-	r.reqs.Config = r.acfg
-	r.in = make([][]*inputVC, cfg.Ports)
-	r.out = make([]*outputPort, cfg.Ports)
-	for p := 0; p < cfg.Ports; p++ {
-		r.in[p] = make([]*inputVC, cfg.VCs)
-		for v := 0; v < cfg.VCs; v++ {
-			r.in[p][v] = &inputVC{buf: make([]*Flit, 0, cfg.BufDepth)}
-		}
-		op := &outputPort{
-			info:    ports[p],
-			credits: make([]int, cfg.VCs),
-			busy:    make([]bool, cfg.VCs),
-		}
-		for v := range op.credits {
-			op.credits[v] = cfg.BufDepth
-		}
-		r.out[p] = op
+	for v := 0; v < cfg.VCs; v++ {
+		r.subgroupOf[v] = int32(r.acfg.Subgroup(v))
 	}
+	r.reqs.Config = r.acfg
 	return r
 }
 
@@ -168,29 +305,46 @@ func (r *Router) ID() int { return r.id }
 // Config returns the router's configuration.
 func (r *Router) Config() Config { return r.cfg }
 
+// Flits returns the flit arena the router resolves FlitIDs through.
+func (r *Router) Flits() *FlitArena { return r.flits }
+
 // DeliverFlit places an arriving flit into input (port, vc). The caller
 // must have set the flit's Route for this router. It panics on buffer
 // overflow, which would indicate a flow-control bug.
-func (r *Router) DeliverFlit(port, vc int, f *Flit) {
-	ivc := r.in[port][vc]
-	if len(ivc.buf) >= r.cfg.BufDepth {
+func (r *Router) DeliverFlit(port, vc int, id FlitID) {
+	ivc := port*r.cfg.VCs + vc
+	if int(r.count[ivc]) >= r.cfg.BufDepth {
 		panic(fmt.Sprintf("router %d: buffer overflow at port %d vc %d", r.id, port, vc))
 	}
+	f := r.flits.At(id)
 	if f.Route < 0 || f.Route >= r.cfg.Ports {
 		panic(fmt.Sprintf("router %d: flit delivered with invalid route %d", r.id, f.Route))
 	}
 	f.VC = vc
-	ivc.buf = append(ivc.buf, f)
+	if r.count[ivc] == 0 {
+		r.frontRoute[ivc] = int32(f.Route)
+		r.frontDst[ivc] = int32(f.Dst)
+		r.frontHead[ivc] = f.Type.IsHead()
+		if r.ovc[ivc] < 0 {
+			r.vaPending++
+		}
+	}
+	slot := int(r.head[ivc]) + int(r.count[ivc])
+	if slot >= r.cfg.BufDepth {
+		slot -= r.cfg.BufDepth
+	}
+	r.buf[ivc*r.cfg.BufDepth+slot] = id
+	r.count[ivc]++
 	r.occ++
 }
 
 // DeliverCredit returns one credit for downstream VC vc of outPort.
 func (r *Router) DeliverCredit(outPort, vc int) {
-	op := r.out[outPort]
-	if op.credits[vc] >= r.cfg.BufDepth {
+	cvi := outPort*r.cfg.VCs + vc
+	if int(r.credits[cvi]) >= r.cfg.BufDepth {
 		panic(fmt.Sprintf("router %d: credit overflow at port %d vc %d", r.id, outPort, vc))
 	}
-	op.credits[vc]++
+	r.credits[cvi]++
 }
 
 // Busy reports whether the router holds any buffered flits. An idle
@@ -204,18 +358,16 @@ func (r *Router) Busy() bool { return r.occ > 0 }
 // BufferSpace returns the free flit slots of input (port, vc); the
 // network interface uses it to gate injection at local ports.
 func (r *Router) BufferSpace(port, vc int) int {
-	return r.cfg.BufDepth - len(r.in[port][vc].buf)
+	return r.cfg.BufDepth - int(r.count[port*r.cfg.VCs+vc])
 }
 
 // Occupancy returns the number of buffered flits across all input VCs.
-// It recounts rather than trusting the incremental counter; tests use
-// the pair to cross-check each other.
+// It recounts from the per-VC ring counters rather than trusting the
+// incremental counter; tests use the pair to cross-check each other.
 func (r *Router) Occupancy() int {
 	n := 0
-	for _, port := range r.in {
-		for _, ivc := range port {
-			n += len(ivc.buf)
-		}
+	for _, c := range r.count {
+		n += int(c)
 	}
 	if n != r.occ {
 		panic(fmt.Sprintf("router %d: occupancy counter %d but %d flits buffered", r.id, r.occ, n))
@@ -224,7 +376,7 @@ func (r *Router) Occupancy() int {
 }
 
 // Credits exposes the credit count for (outPort, vc); used by tests.
-func (r *Router) Credits(outPort, vc int) int { return r.out[outPort].credits[vc] }
+func (r *Router) Credits(outPort, vc int) int { return int(r.credits[outPort*r.cfg.VCs+vc]) }
 
 // Tick advances the router one cycle: VC allocation, then switch
 // allocation, then switch traversal of the winners. It returns the flits
@@ -249,29 +401,47 @@ func (r *Router) Tick() (ems []Emission, credits []CreditMsg, quiesced bool) {
 	r.allocateVCs()
 	grants := r.alloc.Allocate(r.buildRequests())
 	for _, g := range grants {
-		ivc := r.in[g.Port][g.VC]
-		ivc.wait = 0
-		f := ivc.buf[0]
-		ivc.buf = ivc.buf[:copy(ivc.buf, ivc.buf[1:])]
+		req := g.Request(&r.reqs)
+		ivc := req.Port*r.cfg.VCs + req.VC
+		r.wait[ivc] = 0
+		h := int(r.head[ivc])
+		id := r.buf[ivc*r.cfg.BufDepth+h]
+		h++
+		if h == r.cfg.BufDepth {
+			h = 0
+		}
+		r.head[ivc] = int32(h)
+		r.count[ivc]--
 		r.occ--
-		op := r.out[g.OutPort]
-		if op.info.Kind == topology.Link {
-			op.credits[ivc.ovc]--
-			if op.credits[ivc.ovc] < 0 {
-				panic(fmt.Sprintf("router %d: credit underflow at port %d vc %d", r.id, g.OutPort, ivc.ovc))
+		if r.count[ivc] > 0 {
+			nf := r.flits.At(r.buf[ivc*r.cfg.BufDepth+h])
+			r.frontRoute[ivc] = int32(nf.Route)
+			r.frontDst[ivc] = int32(nf.Dst)
+			r.frontHead[ivc] = nf.Type.IsHead()
+		}
+		f := r.flits.At(id)
+		ovc := int(r.ovc[ivc])
+		cvi := g.OutPort*r.cfg.VCs + ovc
+		if r.ports[g.OutPort].Kind == topology.Link {
+			r.credits[cvi]--
+			if r.credits[cvi] < 0 {
+				panic(fmt.Sprintf("router %d: credit underflow at port %d vc %d", r.id, g.OutPort, ovc))
 			}
 			f.Hops++
 			if f.Type.IsTail() {
-				op.busy[ivc.ovc] = false
+				r.busy[cvi] = false
 			}
 		}
-		f.VC = ivc.ovc
+		f.VC = ovc
 		if f.Type.IsTail() {
-			ivc.ovcValid = false
+			r.ovc[ivc] = -1
+			if r.count[ivc] > 0 {
+				r.vaPending++ // next packet's head now fronts the ring
+			}
 		}
-		r.ems = append(r.ems, Emission{OutPort: g.OutPort, Flit: f})
-		if r.out[g.Port].info.Kind == topology.Link {
-			r.creds = append(r.creds, CreditMsg{Port: g.Port, VC: g.VC})
+		r.ems = append(r.ems, Emission{OutPort: g.OutPort, Flit: id})
+		if r.ports[req.Port].Kind == topology.Link {
+			r.creds = append(r.creds, CreditMsg{Port: req.Port, VC: req.VC})
 		}
 	}
 	return r.ems, r.creds, r.occ == 0
@@ -309,54 +479,70 @@ func (r *Router) SkipIdle(cycles int) {
 
 // allocateVCs performs the VC allocation stage: head flits at the front
 // of their buffers acquire an output VC at the downstream router. Input
-// VCs are visited in a rotating order for long-run fairness.
+// VCs are visited in a rotating order for long-run fairness; the start
+// index takes the single modulo, then wraps by comparison.
 func (r *Router) allocateVCs() {
+	pending := r.vaPending
+	if pending == 0 {
+		r.vaOffset++
+		return
+	}
 	total := r.cfg.Ports * r.cfg.VCs
-	for i := 0; i < total; i++ {
-		idx := (r.vaOffset + i) % total
-		port, vc := idx/r.cfg.VCs, idx%r.cfg.VCs
-		ivc := r.in[port][vc]
-		if len(ivc.buf) == 0 || ivc.ovcValid {
+	idx := r.vaOffset % total
+	for i := 0; i < total && pending > 0; i++ {
+		ivc := idx
+		idx++
+		if idx == total {
+			idx = 0
+		}
+		if r.count[ivc] == 0 || r.ovc[ivc] >= 0 {
 			continue
 		}
-		f := ivc.buf[0]
-		if !f.Type.IsHead() {
+		pending--
+		if !r.frontHead[ivc] {
 			// A body flit without a valid output VC cannot occur: the VC
 			// is held from head grant to tail departure.
 			panic(fmt.Sprintf("router %d: body flit at front of unallocated VC", r.id))
 		}
-		out := f.Route
-		op := r.out[out]
-		if op.info.Kind == topology.Local {
+		out := int(r.frontRoute[ivc])
+		if r.ports[out].Kind == topology.Local {
 			// Ejection needs no downstream VC: the sink absorbs at link
 			// bandwidth, serialised per output port by switch allocation.
-			ivc.ovcValid, ivc.ovc, ivc.outPort = true, 0, out
-			r.justAllocated[idx] = true
+			r.ovc[ivc], r.outPort[ivc] = 0, int32(out)
+			r.justAllocated[ivc] = true
+			r.vaPending--
 			continue
 		}
-		v := r.chooseOVC(op, f.Dst, out)
+		v := r.chooseOVC(out, int(r.frontDst[ivc]))
 		if v < 0 {
 			continue // all suitable downstream VCs busy; retry next cycle
 		}
-		ivc.ovcValid, ivc.ovc, ivc.outPort = true, v, out
-		op.busy[v] = true
-		r.justAllocated[idx] = true
+		r.ovc[ivc], r.outPort[ivc] = int32(v), int32(out)
+		r.busy[out*r.cfg.VCs+v] = true
+		r.justAllocated[ivc] = true
+		r.vaPending--
 	}
 	r.vaOffset++
 }
 
-// chooseOVC applies the configured Section 2.3 policy.
-func (r *Router) chooseOVC(op *outputPort, dst, out int) int {
+// chooseOVC applies the configured Section 2.3 policy to output port out.
+func (r *Router) chooseOVC(out, dst int) int {
 	for g := range r.busyInGroup {
 		r.busyInGroup[g] = 0
 	}
 	groupSize := r.acfg.GroupSize()
+	vcs := r.cfg.VCs
+	lo, hi := 0, vcs
+	if r.vcRange != nil {
+		lo, hi = r.vcRange(out, dst)
+	}
+	busy := r.busy[out*vcs : out*vcs+vcs]
 	anyFree := false
-	for v := 0; v < r.cfg.VCs; v++ {
-		r.freeScratch[v] = !op.busy[v]
-		if op.busy[v] {
-			r.busyInGroup[r.acfg.Subgroup(v)]++
-		} else {
+	for v := 0; v < vcs; v++ {
+		r.freeScratch[v] = !busy[v] && v >= lo && v < hi
+		if busy[v] {
+			r.busyInGroup[r.subgroupOf[v]]++
+		} else if r.freeScratch[v] {
 			anyFree = true
 		}
 	}
@@ -365,7 +551,7 @@ func (r *Router) chooseOVC(op *outputPort, dst, out int) int {
 	}
 	ctx := vaContext{
 		free:        r.freeScratch,
-		credits:     op.credits,
+		credits:     r.credits[out*vcs : out*vcs+vcs],
 		busyInGroup: r.busyInGroup,
 		nextDim:     r.nextDim(out, dst),
 		groups:      r.cfg.VirtualInputs,
@@ -379,23 +565,24 @@ func (r *Router) chooseOVC(op *outputPort, dst, out int) int {
 // credit requests its packet's output port.
 func (r *Router) buildRequests() *alloc.RequestSet {
 	r.reqs.Requests = r.reqs.Requests[:0]
+	vcs := r.cfg.VCs
 	for port := 0; port < r.cfg.Ports; port++ {
-		for vc := 0; vc < r.cfg.VCs; vc++ {
-			ivc := r.in[port][vc]
-			if len(ivc.buf) == 0 || !ivc.ovcValid {
+		for vc := 0; vc < vcs; vc++ {
+			ivc := port*vcs + vc
+			if r.count[ivc] == 0 || r.ovc[ivc] < 0 {
 				continue
 			}
-			if r.cfg.NonSpeculative && r.justAllocated[port*r.cfg.VCs+vc] {
+			if r.cfg.NonSpeculative && r.justAllocated[ivc] {
 				continue // VA and SA may not overlap in the same cycle
 			}
-			op := r.out[ivc.outPort]
-			if op.info.Kind == topology.Link && op.credits[ivc.ovc] == 0 {
+			out := int(r.outPort[ivc])
+			if r.ports[out].Kind == topology.Link && r.credits[out*vcs+int(r.ovc[ivc])] == 0 {
 				continue
 			}
 			r.reqs.Requests = append(r.reqs.Requests, alloc.Request{
-				Port: port, VC: vc, OutPort: ivc.outPort, Age: ivc.wait,
+				Port: port, VC: vc, OutPort: out, Age: int(r.wait[ivc]),
 			})
-			ivc.wait++
+			r.wait[ivc]++
 		}
 	}
 	return &r.reqs

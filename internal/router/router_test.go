@@ -24,7 +24,7 @@ func testRouter(t *testing.T, cfg Config) *Router {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(7, cfg, ports, a, func(outPort, dst int) topology.Dim { return topology.DimLocal })
+	return New(7, cfg, ports, a, func(outPort, dst int) topology.Dim { return topology.DimLocal }, nil, nil)
 }
 
 func baseConfig() Config {
@@ -34,11 +34,15 @@ func baseConfig() Config {
 	}
 }
 
-// deliver pushes a packet's flits into (port, vc) with the given route.
+// deliver copies a packet's flits into the router's arena and pushes the
+// ids into (port, vc) with the given route.
 func deliver(r *Router, port, vc, route int, flits []*Flit) {
 	for _, f := range flits {
-		f.Route = route
-		r.DeliverFlit(port, vc, f)
+		id := r.flits.Alloc()
+		g := r.flits.At(id)
+		*g = *f
+		g.Route = route
+		r.DeliverFlit(port, vc, id)
 	}
 }
 
@@ -54,8 +58,8 @@ func TestSingleFlitTraversal(t *testing.T) {
 	if ems[0].OutPort != 2 {
 		t.Errorf("emitted through port %d, want 2", ems[0].OutPort)
 	}
-	if ems[0].Flit.Hops != 1 {
-		t.Errorf("hops = %d, want 1", ems[0].Flit.Hops)
+	if r.flits.At(ems[0].Flit).Hops != 1 {
+		t.Errorf("hops = %d, want 1", r.flits.At(ems[0].Flit).Hops)
 	}
 	if len(credits) != 1 || credits[0] != (CreditMsg{Port: 1, VC: 0}) {
 		t.Errorf("credits = %+v, want one for port 1 vc 0", credits)
@@ -79,8 +83,8 @@ func TestEjectionConsumesNoCreditsAndEmitsUpstreamCredit(t *testing.T) {
 	if len(ems) != 1 || ems[0].OutPort != 0 {
 		t.Fatalf("ejection emission wrong: %+v", ems)
 	}
-	if ems[0].Flit.Hops != 0 {
-		t.Errorf("ejection counted a hop: %d", ems[0].Flit.Hops)
+	if r.flits.At(ems[0].Flit).Hops != 0 {
+		t.Errorf("ejection counted a hop: %d", r.flits.At(ems[0].Flit).Hops)
 	}
 	if len(credits) != 1 || credits[0] != (CreditMsg{Port: 3, VC: 2}) {
 		t.Errorf("credits = %+v", credits)
@@ -114,7 +118,7 @@ func TestMultiFlitWormhole(t *testing.T) {
 		if len(ems) != 1 {
 			t.Fatalf("cycle %d: %d emissions, want 1", cycle, len(ems))
 		}
-		sent = append(sent, ems[0].Flit)
+		sent = append(sent, r.flits.At(ems[0].Flit))
 	}
 	for i, f := range sent {
 		if f.Seq != i {
@@ -140,10 +144,11 @@ func TestOutputVCHeldUntilTail(t *testing.T) {
 	for cycle := 0; cycle < 8; cycle++ {
 		ems, _, _ := r.Tick()
 		for _, e := range ems {
-			if prev, ok := vcs[e.Flit.PacketID]; ok && prev != e.Flit.VC {
-				t.Fatalf("packet %d changed downstream VC", e.Flit.PacketID)
+			f := r.flits.At(e.Flit)
+			if prev, ok := vcs[f.PacketID]; ok && prev != f.VC {
+				t.Fatalf("packet %d changed downstream VC", f.PacketID)
 			}
-			vcs[e.Flit.PacketID] = e.Flit.VC
+			vcs[f.PacketID] = f.VC
 		}
 	}
 	if len(vcs) != 2 {
@@ -199,14 +204,14 @@ func TestBufferOverflowPanics(t *testing.T) {
 
 func TestInvalidRoutePanics(t *testing.T) {
 	r := testRouter(t, baseConfig())
-	f := NewPacket(1, 0, 9, 1, 0)[0]
-	f.Route = 99
+	id := r.flits.Alloc()
+	r.flits.At(id).Route = 99
 	defer func() {
 		if recover() == nil {
 			t.Fatal("invalid route did not panic")
 		}
 	}()
-	r.DeliverFlit(1, 0, f)
+	r.DeliverFlit(1, 0, id)
 }
 
 func TestCreditOverflowPanics(t *testing.T) {
@@ -256,7 +261,7 @@ func TestBodyFlitsInheritOutputVC(t *testing.T) {
 		if len(ems) != 1 {
 			t.Fatalf("cycle %d: emissions %d", i, len(ems))
 		}
-		seen[ems[0].Flit.VC] = true
+		seen[r.flits.At(ems[0].Flit).VC] = true
 	}
 	if len(seen) != 1 {
 		t.Fatalf("packet used %d downstream VCs, want 1", len(seen))

@@ -108,7 +108,8 @@ func (b *Bench) Step() int {
 	}
 	grants := b.alloc.Allocate(&b.reqs)
 	for _, g := range grants {
-		vc := b.vcs[g.Port][g.VC]
+		req := g.Request(&b.reqs)
+		vc := b.vcs[req.Port][req.VC]
 		vc.remaining--
 		if vc.remaining == 0 {
 			b.refill(vc)

@@ -53,6 +53,21 @@ func (c *Collector) Reset() {
 	*c = Collector{nodes: c.nodes, latencies: lat, perSrcFlits: per}
 }
 
+// Reserve grows the latency sample array's capacity to hold at least n
+// samples without reallocating. Long measurement windows (benchmarks
+// measuring allocation churn, in particular) call it after warmup with
+// an estimate of the window's packet count, so that sample recording —
+// measurement bookkeeping, not simulation state — does not dominate the
+// byte counters it is there to read.
+func (c *Collector) Reserve(n int) {
+	if n <= cap(c.latencies) {
+		return
+	}
+	grown := make([]int64, len(c.latencies), n)
+	copy(grown, c.latencies)
+	c.latencies = grown
+}
+
 // Tick advances the measured cycle count.
 func (c *Collector) Tick() { c.cycles++ }
 

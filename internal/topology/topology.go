@@ -21,6 +21,7 @@ const (
 	KindMesh  Kind = "mesh"
 	KindCMesh Kind = "cmesh"
 	KindFBfly Kind = "fbfly"
+	KindTorus Kind = "torus"
 )
 
 // PortKind classifies what a router port is wired to.
@@ -128,6 +129,15 @@ func NewCMesh(w, h, conc int) *Topology {
 	return newMeshLike(KindCMesh, fmt.Sprintf("cmesh%dx%dc%d", w, h, conc), w, h, conc)
 }
 
+// NewTorus returns a w x h 2-D torus: the mesh wiring plus wraparound
+// links closing each row and column into a ring. Rings of fewer than
+// three routers get no wrap link — it would duplicate the existing
+// direct channel — so a torus with w, h <= 2 is wired identically to
+// the same-size mesh (the lockstep-equivalence tests rely on this).
+func NewTorus(w, h int) *Topology {
+	return newMeshLike(KindTorus, fmt.Sprintf("torus%dx%d", w, h), w, h, 1)
+}
+
 func newMeshLike(kind Kind, name string, w, h, conc int) *Topology {
 	if w <= 0 || h <= 0 || conc <= 0 {
 		panic("topology: dimensions must be positive")
@@ -163,6 +173,24 @@ func newMeshLike(kind Kind, name string, w, h, conc int) *Topology {
 		}
 		if y+1 < h {
 			t.Conn[r][dir(dirSouth)] = PortConn{Kind: Link, PeerRouter: t.RouterAt(x, y+1), PeerPort: dir(dirNorth), Dim: DimY}
+		}
+		if kind == KindTorus {
+			if w >= 3 {
+				if x == w-1 {
+					t.Conn[r][dir(dirEast)] = PortConn{Kind: Link, PeerRouter: t.RouterAt(0, y), PeerPort: dir(dirWest), Dim: DimX}
+				}
+				if x == 0 {
+					t.Conn[r][dir(dirWest)] = PortConn{Kind: Link, PeerRouter: t.RouterAt(w-1, y), PeerPort: dir(dirEast), Dim: DimX}
+				}
+			}
+			if h >= 3 {
+				if y == 0 {
+					t.Conn[r][dir(dirNorth)] = PortConn{Kind: Link, PeerRouter: t.RouterAt(x, h-1), PeerPort: dir(dirSouth), Dim: DimY}
+				}
+				if y == h-1 {
+					t.Conn[r][dir(dirSouth)] = PortConn{Kind: Link, PeerRouter: t.RouterAt(x, 0), PeerPort: dir(dirNorth), Dim: DimY}
+				}
+			}
 		}
 	}
 	t.validate()

@@ -123,14 +123,14 @@ func (g *greedy) Allocate(rs *vix.RequestSet) []vix.SwitchGrant {
 	rowUsed := map[int]bool{}
 	outUsed := map[int]bool{}
 	var grants []vix.SwitchGrant
-	for _, r := range rs.Requests {
+	for i, r := range rs.Requests {
 		row := g.cfg.Row(r.Port, r.VC)
 		if rowUsed[row] || outUsed[r.OutPort] {
 			continue
 		}
 		rowUsed[row] = true
 		outUsed[r.OutPort] = true
-		grants = append(grants, vix.SwitchGrant{Port: r.Port, VC: r.VC, OutPort: r.OutPort, Row: row})
+		grants = append(grants, vix.SwitchGrant{Req: i, OutPort: r.OutPort, Row: row})
 	}
 	return grants
 }
